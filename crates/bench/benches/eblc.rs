@@ -1,0 +1,67 @@
+//! Criterion benches for the four EBLCs on weight-like data — the
+//! runtime/throughput columns of Table I at micro-benchmark fidelity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz_eblc::{ErrorBound, LossyKind};
+use fedsz_tensor::SplitMix64;
+
+fn weights(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let core = rng.normal_with(0.0, 0.03);
+            if rng.next_f64() < 0.03 {
+                (rng.laplace(0.06)).clamp(-1.0, 1.0) as f32
+            } else {
+                core as f32
+            }
+        })
+        .collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = weights(1 << 20, 9);
+    let mut group = c.benchmark_group("eblc_compress_1e-2");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    group.sample_size(10);
+    for kind in LossyKind::table1() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &data, |b, d| {
+            b.iter(|| kind.compress(d, ErrorBound::Rel(1e-2)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = weights(1 << 20, 9);
+    let mut group = c.benchmark_group("eblc_decompress_1e-2");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    group.sample_size(10);
+    for kind in LossyKind::table1() {
+        let compressed = kind.compress(&data, ErrorBound::Rel(1e-2));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &compressed,
+            |b, c| {
+                b.iter(|| kind.decompress(c).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let data = weights(1 << 20, 9);
+    let mut group = c.benchmark_group("sz2_compress_by_bound");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    group.sample_size(10);
+    for rel in [1e-2, 1e-3, 1e-4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{rel:.0e}")), &data, |b, d| {
+            b.iter(|| LossyKind::Sz2.compress(d, ErrorBound::Rel(rel)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_bounds);
+criterion_main!(benches);

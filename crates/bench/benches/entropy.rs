@@ -1,0 +1,109 @@
+//! Criterion benches for the entropy-coding kernels that every codec in the
+//! stack is built on: canonical Huffman, the adaptive range coder, and
+//! CRC-32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz_entropy::bitio::{BitReader, BitWriter};
+use fedsz_entropy::crc32::crc32;
+use fedsz_entropy::huffman::{HuffmanDecoder, HuffmanEncoder};
+use fedsz_entropy::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
+use fedsz_tensor::SplitMix64;
+
+/// Quantization-code-like symbols: a narrow Gaussian over a 2^16 alphabet.
+fn quant_codes(n: usize) -> Vec<u32> {
+    let mut rng = SplitMix64::new(11);
+    (0..n)
+        .map(|_| (32768.0 + rng.normal_with(0.0, 40.0)).clamp(1.0, 65534.0) as u32)
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let syms = quant_codes(1 << 20);
+    let mut freqs = vec![0u64; 1 << 16];
+    for &s in &syms {
+        freqs[s as usize] += 1;
+    }
+    let enc = HuffmanEncoder::from_frequencies(&freqs);
+
+    let mut group = c.benchmark_group("huffman");
+    group.throughput(Throughput::Elements(syms.len() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("encode"), |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(syms.len() / 2);
+            for &s in &syms {
+                enc.encode(&mut w, s);
+            }
+            w.finish()
+        });
+    });
+
+    let mut w = BitWriter::with_capacity(syms.len() / 2);
+    enc.write_table(&mut w);
+    for &s in &syms {
+        enc.encode(&mut w, s);
+    }
+    let bytes = w.finish();
+    group.bench_function(BenchmarkId::from_parameter("decode"), |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let dec = HuffmanDecoder::read_table(&mut r).unwrap();
+            let mut out = 0u64;
+            for _ in 0..syms.len() {
+                out = out.wrapping_add(dec.decode(&mut r).unwrap() as u64);
+            }
+            out
+        });
+    });
+    group.finish();
+}
+
+fn bench_rangecoder(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(13);
+    let bits: Vec<u8> = (0..1 << 20).map(|_| u8::from(rng.next_f64() < 0.2)).collect();
+    let mut group = c.benchmark_group("rangecoder");
+    group.throughput(Throughput::Elements(bits.len() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("encode"), |b| {
+        b.iter(|| {
+            let mut enc = RangeEncoder::new();
+            let mut m = BitModel::new();
+            for &bit in &bits {
+                enc.encode_bit(&mut m, bit);
+            }
+            enc.finish()
+        });
+    });
+    let mut enc = RangeEncoder::new();
+    let mut m = BitModel::new();
+    for &bit in &bits {
+        enc.encode_bit(&mut m, bit);
+    }
+    let data = enc.finish();
+    group.bench_function(BenchmarkId::from_parameter("decode"), |b| {
+        b.iter(|| {
+            let mut dec = RangeDecoder::new(&data).unwrap();
+            let mut m = BitModel::new();
+            let mut acc = 0u64;
+            for _ in 0..bits.len() {
+                acc += dec.decode_bit(&mut m) as u64;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1 << 20).map(|i| (i * 31) as u8).collect();
+    let mut group = c.benchmark_group("crc32");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("1MiB"), |b| {
+        b.iter(|| crc32(&data));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman, bench_rangecoder, bench_crc32);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the five lossless codecs on metadata-like float
+//! bytes — Table II's runtime column at micro-benchmark fidelity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz_lossless::LosslessKind;
+use fedsz_tensor::SplitMix64;
+
+fn metadata_bytes(n_floats: usize) -> Vec<u8> {
+    // BN-style metadata: scales near 1, means near 0, positive variances.
+    let mut rng = SplitMix64::new(3);
+    let mut out = Vec::with_capacity(n_floats * 4);
+    for i in 0..n_floats {
+        let v = match i % 4 {
+            0 => rng.normal_with(1.0, 0.15) as f32,
+            1 => rng.normal_with(0.0, 0.02) as f32,
+            2 => rng.normal_with(0.0, 0.5) as f32,
+            _ => (rng.normal_with(1.0, 0.4).abs() + 0.01) as f32,
+        };
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = metadata_bytes(128 * 1024);
+    let mut group = c.benchmark_group("lossless_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for kind in LosslessKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &data, |b, d| {
+            b.iter(|| kind.compress(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = metadata_bytes(128 * 1024);
+    let mut group = c.benchmark_group("lossless_decompress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for kind in LosslessKind::all() {
+        let compressed = kind.compress(&data);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &compressed,
+            |b, c| {
+                b.iter(|| kind.decompress(c).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the end-to-end FedSZ pipeline (partition +
+//! compress + serialize, and the inverse) on a full-scale MobileNetV2
+//! state dict — the per-update cost a client pays each round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz::{compress, decompress, FedSzConfig};
+use fedsz_models::ModelKind;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sd = ModelKind::MobileNetV2.synthesize(10, 71);
+    let mut group = c.benchmark_group("fedsz_pipeline_mobilenetv2");
+    group.throughput(Throughput::Bytes(sd.nbytes() as u64));
+    group.sample_size(10);
+    for rel in [1e-1, 1e-2, 1e-3] {
+        let cfg = FedSzConfig::with_rel_bound(rel);
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{rel:.0e}")),
+            &sd,
+            |b, sd| b.iter(|| compress(sd, &cfg)),
+        );
+        let update = compress(&sd, &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("{rel:.0e}")),
+            &update,
+            |b, u| b.iter(|| decompress(u).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    use fedsz_fl::fedavg;
+    let dicts: Vec<_> = (0..4)
+        .map(|i| (ModelKind::MobileNetV2.synthesize(10, 80 + i), 100usize))
+        .collect();
+    let mut group = c.benchmark_group("fedavg_aggregate");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("4xMobileNetV2"), |b| {
+        b.iter(|| fedavg(&dicts));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: FedSZ as a "last step" after Top-K sparsification (§III-C).
+//!
+//! The paper argues FedSZ composes with upstream reduction methods: a
+//! sparsified update is still a float stream an EBLC compresses further.
+//! This regenerator sparsifies a trained update at several densities and
+//! compares (a) the naive sparse encoding, (b) sparse + FedSZ composition,
+//! and (c) dense FedSZ alone, in bytes.
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin ablate_composition`
+
+use fedsz::{ErrorBound, LosslessKind, LossyKind, TopK};
+use fedsz_bench::{lossy_partition_values, print_header};
+use fedsz_models::ModelKind;
+
+fn main() {
+    let sd = ModelKind::MobileNetV2.synthesize(10, 87);
+    let values = lossy_partition_values(&sd, fedsz::DEFAULT_THRESHOLD);
+    let dense_bytes = values.len() * 4;
+    let dense_fedsz = LossyKind::Sz2
+        .compress(&values, ErrorBound::Rel(1e-2))
+        .len();
+
+    print_header(
+        "Ablation: Top-K sparsification composed with FedSZ (rel 1e-2)",
+        &[
+            "keep_fraction",
+            "sparse_raw_MB",
+            "sparse_fedsz_MB",
+            "composition_gain",
+            "vs_dense_fedsz",
+        ],
+    );
+    println!(
+        "# dense: {:.2} MB raw, {:.2} MB dense-FedSZ",
+        dense_bytes as f64 / 1e6,
+        dense_fedsz as f64 / 1e6
+    );
+    for frac in [0.01, 0.05, 0.1, 0.25, 0.5] {
+        let sparse = TopK::new(frac).sparsify(&values);
+        let naive = sparse.to_bytes().len();
+        let composed = sparse
+            .to_composed_bytes(LossyKind::Sz2, ErrorBound::Rel(1e-2), LosslessKind::Zstd)
+            .len();
+        println!(
+            "{frac}\t{:.3}\t{:.3}\t{:.2}x\t{:.2}x",
+            naive as f64 / 1e6,
+            composed as f64 / 1e6,
+            naive as f64 / composed as f64,
+            dense_fedsz as f64 / composed as f64,
+        );
+    }
+}

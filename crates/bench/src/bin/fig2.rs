@@ -1,0 +1,65 @@
+//! Figure 2: FL model parameters vs. scientific simulation data.
+//!
+//! Prints 1-D snippets of flattened model weights and of a smooth
+//! MIRANDA-like field, plus the smoothness statistics that quantify the
+//! contrast the paper draws (spiky weights vs. smooth simulation data).
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin fig2`
+
+use fedsz_bench::print_header;
+use fedsz_models::{scidata, ModelKind};
+use fedsz_tensor::Summary;
+
+const SNIPPET: usize = 512;
+
+fn main() {
+    let mut series: Vec<(String, Vec<f32>)> = Vec::new();
+
+    for model in [ModelKind::AlexNet, ModelKind::ResNet50] {
+        let sd = model.synthesize(10, 2024);
+        // Use a large mid-network weight tensor, as the paper's panels do.
+        let entry = sd
+            .entries()
+            .iter()
+            .filter(|e| e.name.ends_with("weight") && e.tensor.numel() > 100_000)
+            .nth(1)
+            .expect("model has large weight tensors");
+        series.push((
+            format!("{} ({})", model.name(), entry.name),
+            entry.tensor.data()[..SNIPPET].to_vec(),
+        ));
+    }
+
+    let field = scidata::miranda_like(SNIPPET, 64, 2024);
+    series.push(("MIRANDA-like density slice".into(), scidata::slice_row(&field, 32)));
+    let field2 = scidata::miranda_like(SNIPPET, 64, 4048);
+    series.push(("MIRANDA-like pressure slice".into(), scidata::slice_row(&field2, 8)));
+
+    print_header(
+        "Figure 2: smoothness of FL parameters vs scientific data",
+        &["series", "count", "range", "total_variation", "smoothness_ratio"],
+    );
+    for (name, values) in &series {
+        let s = Summary::of(values);
+        println!(
+            "{name}\t{}\t{:.4}\t{:.3}\t{:.4}",
+            s.count,
+            s.range(),
+            s.total_variation,
+            s.smoothness_ratio()
+        );
+    }
+
+    println!();
+    println!("# series values (relative index, one column per series)");
+    let header: Vec<String> = std::iter::once("idx".to_owned())
+        .chain(series.iter().map(|(n, _)| n.clone()))
+        .collect();
+    println!("{}", header.join("\t"));
+    for i in 0..SNIPPET {
+        let row: Vec<String> = std::iter::once(i.to_string())
+            .chain(series.iter().map(|(_, v)| format!("{:.5}", v[i])))
+            .collect();
+        println!("{}", row.join("\t"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 3: distribution of pretrained weights for the three models.
+//!
+//! Prints a 101-bin histogram over [-1, 1] of every (lossy-partition)
+//! weight value per model, plus distribution summary statistics.
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin fig3`
+
+use fedsz::DEFAULT_THRESHOLD;
+use fedsz_bench::{lossy_partition_values, print_header};
+use fedsz_models::ModelKind;
+use fedsz_tensor::{Histogram, Summary};
+
+const BINS: usize = 101;
+
+fn main() {
+    let mut histos = Vec::new();
+    for model in ModelKind::all() {
+        let sd = model.synthesize(10, 3);
+        let values = lossy_partition_values(&sd, DEFAULT_THRESHOLD);
+        let s = Summary::of(&values);
+        let mut h = Histogram::new(-1.0, 1.0, BINS);
+        h.add_all(&values);
+        histos.push((model.name(), s, h));
+    }
+
+    print_header(
+        "Figure 3: pretrained weight distributions",
+        &["model", "count", "min", "max", "mean", "std"],
+    );
+    for (name, s, _) in &histos {
+        println!(
+            "{name}\t{}\t{:.4}\t{:.4}\t{:.5}\t{:.5}",
+            s.count, s.min, s.max, s.mean, s.std
+        );
+    }
+
+    println!();
+    println!("# histogram densities over [-1, 1]");
+    println!("bin_center\t{}", histos.iter().map(|(n, _, _)| *n).collect::<Vec<_>>().join("\t"));
+    for i in 0..BINS {
+        let center = histos[0].2.bin_center(i);
+        let row: Vec<String> = histos.iter().map(|(_, _, h)| format!("{:.4}", h.density(i))).collect();
+        println!("{center:.3}\t{}", row.join("\t"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Table III: DNN characteristics for FedSZ profiling.
+//!
+//! Reports per model: trainable parameter count, state-dict size, and the
+//! percentage of data routed to the lossy partition under Algorithm 1.
+//! (FLOPs are a property of the forward pass the paper quotes from the
+//! literature; we report the paper's figures alongside for reference.)
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin table3`
+
+use fedsz::{census, DEFAULT_THRESHOLD};
+use fedsz_bench::print_header;
+use fedsz_models::ModelKind;
+
+fn paper_row(model: ModelKind) -> (&'static str, &'static str, &'static str) {
+    // (paper parameters, paper size, paper FLOPs) for side-by-side checks.
+    match model {
+        ModelKind::MobileNetV2 => ("3.5e+06", "14MB", "0.35G"),
+        ModelKind::ResNet50 => ("4.5e+07", "180MB", "8G"),
+        ModelKind::AlexNet => ("6.0e+07", "230MB", "0.75G"),
+    }
+}
+
+fn main() {
+    print_header(
+        "Table III: DNNs for FedSZ profiling",
+        &[
+            "model",
+            "parameters",
+            "size_MB",
+            "pct_lossy_data",
+            "paper_parameters",
+            "paper_size",
+            "paper_FLOPs",
+        ],
+    );
+    for model in ModelKind::all() {
+        let spec = model.spec(1000);
+        let sd = model.synthesize(1000, 1);
+        let c = census(&sd, DEFAULT_THRESHOLD);
+        let (pp, ps, pf) = paper_row(model);
+        println!(
+            "{}\t{:.3e}\t{:.0}\t{:.2}%\t{pp}\t{ps}\t{pf}",
+            model.name(),
+            spec.num_trainable() as f64,
+            spec.nbytes() as f64 / 1e6,
+            100.0 * c.lossy_fraction(),
+        );
+    }
+    println!();
+    println!(
+        "# Note: ResNet50 is the true torchvision architecture (2.56e7 trainable"
+    );
+    println!(
+        "# parameters / ~102 MB); the paper's Table III appears to overcount it."
+    );
+}

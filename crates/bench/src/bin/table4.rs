@@ -1,0 +1,39 @@
+//! Table IV: dataset characteristics for FedSZ benchmarking.
+//!
+//! Prints the reference characteristics of the three tasks alongside the
+//! geometry of our synthetic stand-ins (Caltech101 is synthesized at 32×32;
+//! see DESIGN.md §5).
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin table4`
+
+use fedsz_bench::print_header;
+use fedsz_dnn::DatasetKind;
+
+fn main() {
+    print_header(
+        "Table IV: dataset characteristics",
+        &[
+            "dataset",
+            "paper_samples",
+            "paper_input",
+            "classes",
+            "synthetic_input",
+        ],
+    );
+    for ds in DatasetKind::all() {
+        let (samples, side, classes) = ds.paper_characteristics();
+        let (c, h, w, k) = ds.dims();
+        assert_eq!(classes, k, "class counts must match the paper");
+        println!(
+            "{}\t{}\t{}x{}\t{}\t{}x{}x{}",
+            ds.name(),
+            samples,
+            side,
+            side,
+            classes,
+            c,
+            h,
+            w
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared helpers for the table/figure regenerators in `src/bin/` and the
+//! Criterion benches in `benches/`.
+//!
+//! Every binary prints the rows/series of one paper artifact (see the
+//! experiment index in DESIGN.md). The helpers here keep workloads,
+//! measurement, and formatting consistent across them.
+
+use std::time::Instant;
+
+use fedsz::partition::{route_of, Route};
+use fedsz_models::ModelKind;
+use fedsz_tensor::StateDict;
+
+/// Wall-clock a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// The relative error bounds of Table I.
+pub const TABLE1_BOUNDS: [f64; 3] = [1e-2, 1e-3, 1e-4];
+/// The relative error bounds of Table V / Figure 7.
+pub const TABLE5_BOUNDS: [f64; 4] = [1e-1, 1e-2, 1e-3, 1e-4];
+/// The relative error bounds of Figure 5.
+pub const FIG5_BOUNDS: [f64; 5] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Concatenated values of the lossy partition of a state dict — the data an
+/// EBLC sees in Table I (per-tensor framing excluded).
+pub fn lossy_partition_values(sd: &StateDict, threshold: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    for e in sd.entries() {
+        if route_of(&e.name, e.tensor.numel(), threshold) == Route::Lossy {
+            out.extend_from_slice(e.tensor.data());
+        }
+    }
+    out
+}
+
+/// Concatenated little-endian bytes of the lossless (metadata) partition.
+pub fn metadata_partition_bytes(sd: &StateDict, threshold: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in sd.entries() {
+        if route_of(&e.name, e.tensor.numel(), threshold) == Route::Lossless {
+            out.extend_from_slice(&fedsz_tensor::f32s_to_le_bytes(e.tensor.data()));
+        }
+    }
+    out
+}
+
+/// Synthesize a pretrained-like state dict for a model with the classifier
+/// width of the named dataset (10 or 101 classes).
+pub fn synthesized_model(model: ModelKind, num_classes: usize, seed: u64) -> StateDict {
+    model.synthesize(num_classes, seed)
+}
+
+/// Simple argv flag parsing shared by the regenerator binaries.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments.
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Whether `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// Value of `--name <value>` parsed as `T`, or the default.
+    pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Print a header row followed by a tab-joined column row, for the
+/// regenerators' text tables.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("# {title}");
+    println!("{}", cols.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz::DEFAULT_THRESHOLD;
+
+    #[test]
+    fn lossy_partition_dominates_alexnet() {
+        let sd = synthesized_model(ModelKind::AlexNet, 10, 1);
+        let lossy = lossy_partition_values(&sd, DEFAULT_THRESHOLD);
+        let meta = metadata_partition_bytes(&sd, DEFAULT_THRESHOLD);
+        let total = sd.num_params();
+        let frac = lossy.len() as f64 / total as f64;
+        // Table III: 99.98% of AlexNet is lossy data.
+        assert!(frac > 0.999, "lossy fraction {frac}");
+        assert_eq!(lossy.len() * 4 + meta.len(), total * 4);
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let (v, secs) = time(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(v, 4_999_950_000);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn args_parse_values() {
+        let args = Args {
+            raw: vec!["--fast".into(), "--rounds".into(), "7".into()],
+        };
+        assert!(args.flag("--fast"));
+        assert!(!args.flag("--slow"));
+        assert_eq!(args.value("--rounds", 50usize), 7);
+        assert_eq!(args.value("--clients", 4usize), 4);
+    }
+}

@@ -1,0 +1,282 @@
+//! Library behind the `fedsz-tool` binary: every subcommand is a function
+//! over paths and options so integration tests can drive it in-process.
+//!
+//! File conventions:
+//! * `.fsd` — a state dict stored losslessly (a FedSZ update compressed
+//!   with the partition threshold at `usize::MAX`, so every tensor takes
+//!   the bit-exact path).
+//! * `.fsz` — a FedSZ-compressed update (lossy weights + lossless metadata).
+//!
+//! Both are the same self-describing wire format (`docs/FORMATS.md`), so
+//! `decompress` and `inspect` accept either.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use fedsz::{
+    census, compress_with_stats, decompress, CompressedUpdate, ErrorBound, FedSzConfig,
+    LosslessKind, LossyKind, Route,
+};
+use fedsz_models::ModelKind;
+use fedsz_tensor::StateDict;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// I/O failure with context.
+    Io(String),
+    /// Bad argument or unparseable option.
+    Usage(String),
+    /// Corrupt or foreign input file.
+    Decode(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(m) => write!(f, "io error: {m}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn read_update(path: &Path) -> Result<StateDict, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    decompress(&CompressedUpdate::from_bytes(bytes))
+        .map_err(|e| CliError::Decode(format!("{}: {e}", path.display())))
+}
+
+fn write_lossless(sd: &StateDict, path: &Path) -> Result<usize, CliError> {
+    let cfg = FedSzConfig {
+        threshold: usize::MAX,
+        ..FedSzConfig::default()
+    };
+    let update = fedsz::compress(sd, &cfg);
+    let n = update.nbytes();
+    std::fs::write(path, update.into_bytes())
+        .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    Ok(n)
+}
+
+/// Parse a model name as the tool accepts it.
+pub fn parse_model(name: &str) -> Result<ModelKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Ok(ModelKind::AlexNet),
+        "mobilenetv2" | "mobilenet-v2" | "mobilenet" => Ok(ModelKind::MobileNetV2),
+        "resnet50" | "resnet" => Ok(ModelKind::ResNet50),
+        other => Err(CliError::Usage(format!(
+            "unknown model {other:?} (expected alexnet | mobilenetv2 | resnet50)"
+        ))),
+    }
+}
+
+/// Parse a lossy codec name.
+pub fn parse_lossy(name: &str) -> Result<LossyKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "sz2" => Ok(LossyKind::Sz2),
+        "sz3" => Ok(LossyKind::Sz3),
+        "szx" => Ok(LossyKind::Szx),
+        "szx-paper" => Ok(LossyKind::SzxPaper),
+        "zfp" => Ok(LossyKind::Zfp),
+        other => Err(CliError::Usage(format!(
+            "unknown lossy codec {other:?} (expected sz2 | sz3 | szx | szx-paper | zfp)"
+        ))),
+    }
+}
+
+/// Parse a lossless codec name.
+pub fn parse_lossless(name: &str) -> Result<LosslessKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "blosc-lz" | "blosclz" | "blosc" => Ok(LosslessKind::BloscLz),
+        "gzip" => Ok(LosslessKind::Gzip),
+        "xz" => Ok(LosslessKind::Xz),
+        "zlib" => Ok(LosslessKind::Zlib),
+        "zstd" => Ok(LosslessKind::Zstd),
+        other => Err(CliError::Usage(format!(
+            "unknown lossless codec {other:?} (expected blosc-lz | gzip | xz | zlib | zstd)"
+        ))),
+    }
+}
+
+/// `synth`: write a pretrained-like state dict to a `.fsd` file.
+pub fn cmd_synth(model: ModelKind, classes: usize, seed: u64, out: &Path) -> Result<String, CliError> {
+    let sd = model.synthesize(classes, seed);
+    let bytes = write_lossless(&sd, out)?;
+    Ok(format!(
+        "wrote {} ({} entries, {:.1} MB state, {:.1} MB on disk)",
+        out.display(),
+        sd.len(),
+        sd.nbytes() as f64 / 1e6,
+        bytes as f64 / 1e6
+    ))
+}
+
+/// `compress`: FedSZ-compress a `.fsd` into a `.fsz`.
+pub fn cmd_compress(
+    input: &Path,
+    out: &Path,
+    lossy: LossyKind,
+    lossless: LosslessKind,
+    rel: f64,
+    threshold: usize,
+) -> Result<String, CliError> {
+    if !(rel.is_finite() && rel > 0.0) {
+        return Err(CliError::Usage(format!("relative bound must be positive, got {rel}")));
+    }
+    let sd = read_update(input)?;
+    let cfg = FedSzConfig {
+        lossy,
+        lossless,
+        error_bound: ErrorBound::Rel(rel),
+        threshold,
+    };
+    let (update, stats) = compress_with_stats(&sd, &cfg);
+    std::fs::write(out, update.as_bytes())
+        .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+    Ok(format!(
+        "wrote {} ({:.2} MB, ratio {:.2}x, {:.2} s, {} @ rel {rel:e} + {})",
+        out.display(),
+        update.nbytes() as f64 / 1e6,
+        stats.compression_ratio(),
+        stats.compress_seconds,
+        lossy.name(),
+        lossless.name()
+    ))
+}
+
+/// `decompress`: restore a `.fsz`/`.fsd` into a lossless `.fsd`.
+pub fn cmd_decompress(input: &Path, out: &Path) -> Result<String, CliError> {
+    let sd = read_update(input)?;
+    let bytes = write_lossless(&sd, out)?;
+    Ok(format!(
+        "wrote {} ({} entries, {:.1} MB on disk)",
+        out.display(),
+        sd.len(),
+        bytes as f64 / 1e6
+    ))
+}
+
+/// `inspect`: print the census and per-entry table of an update file.
+pub fn cmd_inspect(input: &Path, threshold: usize) -> Result<String, CliError> {
+    let sd = read_update(input)?;
+    let c = census(&sd, threshold);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} entries, {} values, {:.2} MB as f32",
+        input.display(),
+        sd.len(),
+        sd.num_params(),
+        sd.nbytes() as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "partition @ threshold {threshold}: {} lossy / {} lossless entries, {:.2}% lossy values",
+        c.lossy_entries,
+        c.lossless_entries,
+        100.0 * c.lossy_fraction()
+    );
+    let _ = writeln!(out, "{:<44} {:>12} {:>10} route", "name", "shape", "numel");
+    for e in sd.entries() {
+        let route = match fedsz::route_of(&e.name, e.tensor.numel(), threshold) {
+            Route::Lossy => "lossy",
+            Route::Lossless => "lossless",
+        };
+        let shape = format!("{:?}", e.tensor.shape());
+        let _ = writeln!(out, "{:<44} {:>12} {:>10} {route}", e.name, shape, e.tensor.numel());
+    }
+    Ok(out)
+}
+
+/// `verify`: decompress and report reconstruction quality against a
+/// reference `.fsd`.
+pub fn cmd_verify(reference: &Path, update: &Path) -> Result<String, CliError> {
+    let original = read_update(reference)?;
+    let restored = read_update(update)?;
+    if original.len() != restored.len() {
+        return Err(CliError::Decode(format!(
+            "entry count mismatch: {} vs {}",
+            original.len(),
+            restored.len()
+        )));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<44} {:>12} {:>12} {:>10}", "name", "max_err", "nrmse", "psnr_db");
+    for (a, b) in original.entries().iter().zip(restored.entries()) {
+        let q = fedsz::ReconstructionQuality::measure(a.tensor.data(), b.tensor.data());
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12.3e} {:>12.3e} {:>10.1}",
+            a.name, q.max_abs_error, q.nrmse, q.psnr_db
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fedsz-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn synth_compress_decompress_verify_cycle() {
+        let fsd = tmp("model.fsd");
+        let fsz = tmp("model.fsz");
+        let back = tmp("restored.fsd");
+
+        let msg = cmd_synth(ModelKind::MobileNetV2, 10, 42, &fsd).unwrap();
+        assert!(msg.contains("entries"));
+
+        let msg = cmd_compress(&fsd, &fsz, LossyKind::Sz2, LosslessKind::BloscLz, 1e-2, 2048)
+            .unwrap();
+        assert!(msg.contains("ratio"));
+        let fsd_len = std::fs::metadata(&fsd).unwrap().len();
+        let fsz_len = std::fs::metadata(&fsz).unwrap().len();
+        assert!(fsz_len * 3 < fsd_len, "{fsz_len} vs {fsd_len}");
+
+        cmd_decompress(&fsz, &back).unwrap();
+        let report = cmd_verify(&fsd, &back).unwrap();
+        assert!(report.contains("features.0.0.weight"));
+
+        let inspect = cmd_inspect(&fsz, 2048).unwrap();
+        assert!(inspect.contains("lossy values"));
+        assert!(inspect.contains("classifier.1.weight"));
+    }
+
+    #[test]
+    fn parsers_accept_aliases_and_reject_junk() {
+        assert_eq!(parse_model("AlexNet").unwrap(), ModelKind::AlexNet);
+        assert_eq!(parse_model("mobilenet").unwrap(), ModelKind::MobileNetV2);
+        assert!(parse_model("vgg").is_err());
+        assert_eq!(parse_lossy("SZ2").unwrap(), LossyKind::Sz2);
+        assert!(parse_lossy("sz9").is_err());
+        assert_eq!(parse_lossless("blosc").unwrap(), LosslessKind::BloscLz);
+        assert!(parse_lossless("lz4").is_err());
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        let missing = tmp("missing.fsd");
+        let _ = std::fs::remove_file(&missing);
+        assert!(matches!(cmd_inspect(&missing, 2048), Err(CliError::Io(_))));
+
+        let junk = tmp("junk.fsd");
+        std::fs::write(&junk, b"not an update").unwrap();
+        assert!(matches!(cmd_inspect(&junk, 2048), Err(CliError::Decode(_))));
+
+        let fsd = tmp("m2.fsd");
+        cmd_synth(ModelKind::MobileNetV2, 10, 1, &fsd).unwrap();
+        assert!(matches!(
+            cmd_compress(&fsd, &tmp("x.fsz"), LossyKind::Sz2, LosslessKind::Zstd, -1.0, 10),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

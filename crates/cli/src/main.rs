@@ -1,0 +1,104 @@
+//! `fedsz-tool` — command-line FedSZ pipeline.
+//!
+//! ```text
+//! fedsz-tool synth      --model alexnet|mobilenetv2|resnet50 [--classes N] [--seed S] --out model.fsd
+//! fedsz-tool compress   --in model.fsd --out update.fsz [--lossy sz2] [--lossless blosc-lz]
+//!                       [--rel 1e-2] [--threshold 2048]
+//! fedsz-tool decompress --in update.fsz --out restored.fsd
+//! fedsz-tool inspect    --in update.fsz [--threshold 2048]
+//! fedsz-tool verify     --reference model.fsd --in restored.fsd
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedsz_cli::*;
+
+struct Opts {
+    args: Vec<String>,
+}
+
+impl Opts {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.value(name)
+            .ok_or_else(|| CliError::Usage(format!("missing {name} <value>")))
+    }
+
+    fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad value for {name}: {v:?}"))),
+        }
+    }
+}
+
+fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
+    match cmd {
+        "synth" => {
+            let model = parse_model(opts.required("--model")?)?;
+            let classes: usize = opts.parsed_or("--classes", 10)?;
+            let seed: u64 = opts.parsed_or("--seed", 42)?;
+            let out = PathBuf::from(opts.required("--out")?);
+            cmd_synth(model, classes, seed, &out)
+        }
+        "compress" => {
+            let input = PathBuf::from(opts.required("--in")?);
+            let out = PathBuf::from(opts.required("--out")?);
+            let lossy = parse_lossy(opts.value("--lossy").unwrap_or("sz2"))?;
+            let lossless = parse_lossless(opts.value("--lossless").unwrap_or("blosc-lz"))?;
+            let rel: f64 = opts.parsed_or("--rel", 1e-2)?;
+            let threshold: usize = opts.parsed_or("--threshold", fedsz::DEFAULT_THRESHOLD)?;
+            cmd_compress(&input, &out, lossy, lossless, rel, threshold)
+        }
+        "decompress" => {
+            let input = PathBuf::from(opts.required("--in")?);
+            let out = PathBuf::from(opts.required("--out")?);
+            cmd_decompress(&input, &out)
+        }
+        "inspect" => {
+            let input = PathBuf::from(opts.required("--in")?);
+            let threshold: usize = opts.parsed_or("--threshold", fedsz::DEFAULT_THRESHOLD)?;
+            cmd_inspect(&input, threshold)
+        }
+        "verify" => {
+            let reference = PathBuf::from(opts.required("--reference")?);
+            let input = PathBuf::from(opts.required("--in")?);
+            cmd_verify(&reference, &input)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?} (expected synth | compress | decompress | inspect | verify)"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: fedsz-tool <synth|compress|decompress|inspect|verify> [options]");
+        eprintln!("see the module docs (cargo doc -p fedsz-cli) for the full grammar");
+        return ExitCode::from(2);
+    };
+    let opts = Opts {
+        args: args.collect(),
+    };
+    match dispatch(&cmd, &opts) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fedsz-tool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

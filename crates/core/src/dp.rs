@@ -1,0 +1,117 @@
+//! Differential-privacy accounting for Laplace-like noise (§VII-D).
+//!
+//! The Laplace mechanism with sensitivity Δ and scale b gives ε = Δ / b
+//! (Dwork et al. 2006). The paper observes that FedSZ's compression error
+//! resembles Laplace noise and asks whether it "could potentially serve as
+//! a source of differentially private noise". This module computes the
+//! hypothetical ε such noise *would* provide — clearly labelled an estimate,
+//! because compression error is deterministic given the input and bounded
+//! in support, so it does not carry a formal DP guarantee (the paper makes
+//! the same caveat).
+
+use crate::privacy::{laplace_fit, LaplaceFit};
+
+/// ε of the Laplace mechanism at sensitivity `delta` and scale `b`.
+///
+/// Returns `f64::INFINITY` when `b` is not positive (no noise → no privacy).
+pub fn laplace_epsilon(delta: f64, b: f64) -> f64 {
+    assert!(delta >= 0.0 && delta.is_finite(), "invalid sensitivity");
+    if b <= 0.0 {
+        return f64::INFINITY;
+    }
+    delta / b
+}
+
+/// L1 sensitivity bound for an update whose per-coordinate values are
+/// clipped to `[-clip, clip]` when one client's contribution is swapped:
+/// each coordinate can change by at most `2·clip / n_clients` after
+/// FedAvg over `n_clients` equally-weighted clients.
+pub fn clipped_coordinate_sensitivity(clip: f32, n_clients: usize) -> f64 {
+    assert!(clip >= 0.0 && n_clients > 0);
+    2.0 * clip as f64 / n_clients as f64
+}
+
+/// Hypothetical per-coordinate privacy report for observed noise samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpEstimate {
+    /// The Laplace fit of the observed noise.
+    pub fit: LaplaceFit,
+    /// Sensitivity used.
+    pub sensitivity: f64,
+    /// ε the noise would provide if it were true Laplace noise.
+    pub epsilon_if_laplace: f64,
+}
+
+/// Estimate the ε that compression noise with the given samples would
+/// provide against a per-coordinate sensitivity.
+pub fn estimate_epsilon(noise_samples: &[f32], sensitivity: f64) -> DpEstimate {
+    let fit = laplace_fit(noise_samples);
+    DpEstimate {
+        fit,
+        sensitivity,
+        epsilon_if_laplace: laplace_epsilon(sensitivity, fit.b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::SplitMix64;
+
+    #[test]
+    fn epsilon_formula() {
+        assert_eq!(laplace_epsilon(1.0, 0.5), 2.0);
+        assert_eq!(laplace_epsilon(0.0, 0.5), 0.0);
+        assert_eq!(laplace_epsilon(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sensitivity_shrinks_with_clients() {
+        let s1 = clipped_coordinate_sensitivity(1.0, 1);
+        let s10 = clipped_coordinate_sensitivity(1.0, 10);
+        assert_eq!(s1, 2.0);
+        assert!((s10 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_recovers_epsilon_for_true_laplace_noise() {
+        let mut rng = SplitMix64::new(3);
+        let b = 0.02;
+        let noise: Vec<f32> = (0..100_000).map(|_| rng.laplace(b) as f32).collect();
+        let est = estimate_epsilon(&noise, 0.01);
+        assert!((est.fit.b - b).abs() < 0.002, "fit b {}", est.fit.b);
+        let expected = 0.01 / b;
+        assert!(
+            (est.epsilon_if_laplace - expected).abs() < 0.1,
+            "eps {} vs {expected}",
+            est.epsilon_if_laplace
+        );
+    }
+
+    #[test]
+    fn tighter_bounds_mean_less_privacy() {
+        use crate::pipeline::{compress, decompress, FedSzConfig};
+        use crate::privacy::compression_errors;
+        use fedsz_tensor::{StateDict, Tensor, TensorKind};
+
+        let mut rng = SplitMix64::new(9);
+        let w: Vec<f32> = (0..40_000).map(|_| rng.normal_with(0.0, 0.05) as f32).collect();
+        let mut sd = StateDict::new();
+        sd.insert("l.weight", TensorKind::Weight, Tensor::from_vec(w));
+
+        let eps_at = |rel: f64| {
+            let cfg = FedSzConfig::with_rel_bound(rel);
+            let back = decompress(&compress(&sd, &cfg)).unwrap();
+            let errors = compression_errors(&sd, &back, cfg.threshold);
+            estimate_epsilon(&errors, clipped_coordinate_sensitivity(0.5, 4)).epsilon_if_laplace
+        };
+        // Less noise (tighter bound) → larger ε → weaker hypothetical privacy.
+        assert!(eps_at(1e-3) > 5.0 * eps_at(1e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sensitivity")]
+    fn bad_sensitivity_rejected() {
+        laplace_epsilon(f64::NAN, 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Reconstruction-quality metrics for lossy compression: PSNR, NRMSE, and
+//! maximum pointwise error — the standard figures of merit in the EBLC
+//! literature the paper builds on (SZ/ZFP evaluations report exactly these).
+
+/// Quality of a reconstruction against its original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconstructionQuality {
+    /// Maximum absolute pointwise error.
+    pub max_abs_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// RMSE normalized by the value range.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB (∞ for exact reconstructions).
+    pub psnr_db: f64,
+    /// Number of compared (finite) samples.
+    pub count: usize,
+}
+
+impl ReconstructionQuality {
+    /// Compare `reconstructed` against `original`, skipping positions where
+    /// either value is non-finite (those travel the literal/raw path).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn measure(original: &[f32], reconstructed: &[f32]) -> Self {
+        assert_eq!(
+            original.len(),
+            reconstructed.len(),
+            "quality comparison needs equal lengths"
+        );
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sq_sum = 0.0f64;
+        let mut max_err = 0.0f64;
+        let mut count = 0usize;
+        for (&a, &b) in original.iter().zip(reconstructed) {
+            if !a.is_finite() || !b.is_finite() {
+                continue;
+            }
+            let a64 = a as f64;
+            min = min.min(a64);
+            max = max.max(a64);
+            let e = (a64 - b as f64).abs();
+            max_err = max_err.max(e);
+            sq_sum += e * e;
+            count += 1;
+        }
+        if count == 0 {
+            return Self {
+                max_abs_error: 0.0,
+                rmse: 0.0,
+                nrmse: 0.0,
+                psnr_db: f64::INFINITY,
+                count: 0,
+            };
+        }
+        let rmse = (sq_sum / count as f64).sqrt();
+        let range = (max - min).max(0.0);
+        let nrmse = if range > 0.0 { rmse / range } else { 0.0 };
+        let psnr_db = if rmse == 0.0 || range == 0.0 {
+            f64::INFINITY
+        } else {
+            20.0 * (range / rmse).log10()
+        };
+        Self {
+            max_abs_error: max_err,
+            rmse,
+            nrmse,
+            psnr_db,
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_is_perfect() {
+        let data = [1.0f32, 2.0, 3.0];
+        let q = ReconstructionQuality::measure(&data, &data);
+        assert_eq!(q.max_abs_error, 0.0);
+        assert_eq!(q.rmse, 0.0);
+        assert_eq!(q.psnr_db, f64::INFINITY);
+        assert_eq!(q.count, 3);
+    }
+
+    #[test]
+    fn known_uniform_error() {
+        let orig = [0.0f32, 1.0, 2.0, 3.0];
+        let recon = [0.1f32, 1.1, 2.1, 3.1];
+        let q = ReconstructionQuality::measure(&orig, &recon);
+        assert!((q.max_abs_error - 0.1).abs() < 1e-6);
+        assert!((q.rmse - 0.1).abs() < 1e-6);
+        assert!((q.nrmse - 0.1 / 3.0).abs() < 1e-6);
+        // PSNR = 20 log10(3 / 0.1) ≈ 29.54 dB.
+        assert!((q.psnr_db - 29.54).abs() < 0.05, "{}", q.psnr_db);
+    }
+
+    #[test]
+    fn non_finite_positions_are_skipped() {
+        let orig = [1.0f32, f32::NAN, 3.0];
+        let recon = [1.0f32, f32::NAN, 3.5];
+        let q = ReconstructionQuality::measure(&orig, &recon);
+        assert_eq!(q.count, 2);
+        assert!((q.max_abs_error - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tighter_bounds_give_higher_psnr_through_sz2() {
+        use fedsz_eblc::{ErrorBound, LossyKind};
+        let data: Vec<f32> = (0..20_000).map(|i| ((i as f32) * 0.01).sin() * 0.1).collect();
+        let psnr_of = |rel: f64| {
+            let c = LossyKind::Sz2.compress(&data, ErrorBound::Rel(rel));
+            let d = LossyKind::Sz2.decompress(&c).unwrap();
+            ReconstructionQuality::measure(&data, &d).psnr_db
+        };
+        let coarse = psnr_of(1e-2);
+        let fine = psnr_of(1e-4);
+        assert!(fine > coarse + 20.0, "coarse {coarse} dB, fine {fine} dB");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        ReconstructionQuality::measure(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Size and timing bookkeeping for compressed updates — the raw material of
+//! Tables I/II/V and Figures 6–8.
+
+use crate::partition::Route;
+
+/// Per-entry compression outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryStats {
+    /// State-dict entry name.
+    pub name: String,
+    /// Which partition the entry was routed to.
+    pub route: Route,
+    /// Uncompressed size in bytes (`numel * 4`).
+    pub uncompressed: usize,
+    /// Compressed payload size in bytes (excluding frame header).
+    pub compressed: usize,
+}
+
+impl EntryStats {
+    /// Per-entry compression ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed == 0 {
+            return 0.0;
+        }
+        self.uncompressed as f64 / self.compressed as f64
+    }
+}
+
+/// Whole-update compression outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStats {
+    /// Outcome per entry, in state-dict order.
+    pub entries: Vec<EntryStats>,
+    /// Uncompressed state-dict size in bytes.
+    pub total_uncompressed: usize,
+    /// Serialized update size in bytes (including all frame headers).
+    pub total_compressed: usize,
+    /// Wall-clock compression time.
+    pub compress_seconds: f64,
+    /// Wall-clock decompression time (0 until measured).
+    pub decompress_seconds: f64,
+}
+
+impl UpdateStats {
+    /// End-to-end compression ratio (what Table V reports).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_compressed == 0 {
+            return 0.0;
+        }
+        self.total_uncompressed as f64 / self.total_compressed as f64
+    }
+
+    /// Compression throughput in MB/s over the uncompressed size (what
+    /// Table I's throughput column reports).
+    pub fn throughput_mb_s(&self) -> f64 {
+        if self.compress_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_uncompressed as f64 / 1e6 / self.compress_seconds
+    }
+
+    /// Bytes routed to a given partition (uncompressed, compressed).
+    pub fn partition_bytes(&self, route: Route) -> (usize, usize) {
+        self.entries
+            .iter()
+            .filter(|e| e.route == route)
+            .fold((0, 0), |(u, c), e| (u + e.uncompressed, c + e.compressed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UpdateStats {
+        UpdateStats {
+            entries: vec![
+                EntryStats {
+                    name: "w".into(),
+                    route: Route::Lossy,
+                    uncompressed: 1000,
+                    compressed: 100,
+                },
+                EntryStats {
+                    name: "b".into(),
+                    route: Route::Lossless,
+                    uncompressed: 40,
+                    compressed: 35,
+                },
+            ],
+            total_uncompressed: 1040,
+            total_compressed: 150,
+            compress_seconds: 0.5,
+            decompress_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn ratios_and_throughput() {
+        let s = sample();
+        assert!((s.compression_ratio() - 1040.0 / 150.0).abs() < 1e-12);
+        assert!((s.throughput_mb_s() - 1040.0 / 1e6 / 0.5).abs() < 1e-12);
+        assert!((s.entries[0].ratio() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_bytes_split() {
+        let s = sample();
+        assert_eq!(s.partition_bytes(Route::Lossy), (1000, 100));
+        assert_eq!(s.partition_bytes(Route::Lossless), (40, 35));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut s = sample();
+        s.total_compressed = 0;
+        s.compress_seconds = 0.0;
+        assert_eq!(s.compression_ratio(), 0.0);
+        assert_eq!(s.throughput_mb_s(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Small dense matrix kernels used by the conv and dense layers.
+//!
+//! Row-major, accumulate-into-output style (`C += op(A) × op(B)`), written
+//! so the inner loops autovectorize under `opt-level >= 2`. The model
+//! analogues are small enough that these kernels, parallelized over the
+//! batch dimension at the layer level, keep training CPU-bound rather than
+//! allocation-bound.
+
+/// `C += A × B` where A is `m×k`, B is `k×n`, C is `m×n`.
+pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C += A × Bᵀ` where A is `m×k`, B is `n×k`, C is `m×n`.
+pub fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// `C += Aᵀ × B` where A is `k×m`, B is `k×n`, C is `m×n`.
+pub fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f32; 6] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+    const B: [f32; 6] = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // 3x2
+    // A(2x3) * B(3x2) = [[58, 64], [139, 154]]
+    const AB: [f32; 4] = [58.0, 64.0, 139.0, 154.0];
+
+    #[test]
+    fn nn_matches_reference() {
+        let mut c = vec![0.0; 4];
+        mm_nn(&A, &B, 2, 3, 2, &mut c);
+        assert_eq!(c, AB);
+    }
+
+    #[test]
+    fn nt_matches_reference() {
+        // B as 2x3 transposed equals the 3x2 above.
+        let bt = [7.0, 9.0, 11.0, 8.0, 10.0, 12.0]; // 2x3
+        let mut c = vec![0.0; 4];
+        mm_nt(&A, &bt, 2, 3, 2, &mut c);
+        assert_eq!(c, AB);
+    }
+
+    #[test]
+    fn tn_matches_reference() {
+        // A as 3x2 transposed equals the 2x3 above.
+        let at = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0]; // 3x2
+        let mut c = vec![0.0; 4];
+        mm_tn(&at, &B, 2, 3, 2, &mut c);
+        assert_eq!(c, AB);
+    }
+
+    #[test]
+    fn accumulation_adds() {
+        let mut c = vec![1.0; 4];
+        mm_nn(&A, &B, 2, 3, 2, &mut c);
+        assert_eq!(c, [59.0, 65.0, 140.0, 155.0]);
+    }
+
+    #[test]
+    fn all_variants_agree_on_random_matrices() {
+        let m = 7;
+        let k = 5;
+        let n = 6;
+        let mut state = 3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u32 << 31) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut reference = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    reference[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        mm_nn(&a, &b, m, k, n, &mut c1);
+        // Build transposes.
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        mm_nt(&a, &bt, m, k, n, &mut c2);
+        let mut c3 = vec![0.0; m * n];
+        mm_tn(&at, &b, m, k, n, &mut c3);
+        for i in 0..m * n {
+            assert!((c1[i] - reference[i]).abs() < 1e-4);
+            assert!((c2[i] - reference[i]).abs() < 1e-4);
+            assert!((c3[i] - reference[i]).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Error-bounded linear-scale quantization shared by the SZ2 and SZ3
+//! prediction pipelines.
+//!
+//! Prediction errors are quantized to integer codes with bin width `2ε`,
+//! guaranteeing a reconstruction within `ε` of the original. Values whose
+//! code falls outside the code book (or where float rounding would break the
+//! bound) are flagged *unpredictable* and stored as literal `f32`s.
+
+/// Half the code-book size; codes span `1 ..= 2*RADIUS - 1`, code `0` marks
+/// an unpredictable value. 2^15 matches SZ2's default `quantization_intervals`.
+pub const RADIUS: i64 = 1 << 15;
+
+/// Total number of quantization symbols (including the escape code 0).
+pub const NUM_CODES: usize = (2 * RADIUS) as usize;
+
+/// Linear quantizer with bin width `2ε`.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    abs_eb: f64,
+    bin: f64,
+}
+
+impl Quantizer {
+    /// Quantizer for an absolute error bound `abs_eb > 0`.
+    ///
+    /// # Panics
+    /// Panics if the bound is not finite and positive.
+    pub fn new(abs_eb: f64) -> Self {
+        assert!(
+            abs_eb.is_finite() && abs_eb > 0.0,
+            "quantizer needs a positive finite bound, got {abs_eb}"
+        );
+        Self {
+            abs_eb,
+            bin: 2.0 * abs_eb,
+        }
+    }
+
+    /// The absolute error bound.
+    pub fn bound(&self) -> f64 {
+        self.abs_eb
+    }
+
+    /// Quantize `value` against `pred`. On success returns the code
+    /// (`1 ..= 2*RADIUS-1`) and the reconstructed value the decoder will see;
+    /// `None` means the value must be stored losslessly.
+    #[inline]
+    pub fn quantize(&self, value: f32, pred: f32) -> Option<(u32, f32)> {
+        if !value.is_finite() {
+            return None;
+        }
+        let diff = value as f64 - pred as f64;
+        let q = (diff / self.bin).round();
+        if q.abs() >= RADIUS as f64 {
+            return None;
+        }
+        let qi = q as i64;
+        let recon = (pred as f64 + qi as f64 * self.bin) as f32;
+        // Guard: f32 rounding of the reconstruction could exceed the bound
+        // near the bin edge; fall back to literal storage when it does.
+        if (recon as f64 - value as f64).abs() > self.abs_eb {
+            return None;
+        }
+        Some(((qi + RADIUS) as u32, recon))
+    }
+
+    /// Decoder-side reconstruction for a non-zero code.
+    #[inline]
+    pub fn reconstruct(&self, pred: f32, code: u32) -> f32 {
+        let qi = code as i64 - RADIUS;
+        (pred as f64 + qi as f64 * self.bin) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_respects_bound() {
+        let q = Quantizer::new(0.01);
+        for i in -1000..1000 {
+            let value = i as f32 * 0.0173;
+            let pred = (i as f32 * 0.0173).mul_add(0.9, 0.001);
+            if let Some((code, recon)) = q.quantize(value, pred) {
+                assert!(code > 0 && (code as i64) < 2 * RADIUS);
+                assert!((recon - value).abs() <= 0.01 + 1e-9, "i={i}");
+                assert_eq!(q.reconstruct(pred, code), recon);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_gives_center_code() {
+        let q = Quantizer::new(0.5);
+        let (code, recon) = q.quantize(3.0, 3.0).unwrap();
+        assert_eq!(code as i64, RADIUS);
+        assert_eq!(recon, 3.0);
+    }
+
+    #[test]
+    fn far_values_are_unpredictable() {
+        let q = Quantizer::new(1e-6);
+        assert!(q.quantize(1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn non_finite_values_are_unpredictable() {
+        let q = Quantizer::new(0.1);
+        assert!(q.quantize(f32::NAN, 0.0).is_none());
+        assert!(q.quantize(f32::INFINITY, 0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite bound")]
+    fn zero_bound_rejected() {
+        Quantizer::new(0.0);
+    }
+
+    #[test]
+    fn encode_decode_agree_across_bins() {
+        let q = Quantizer::new(0.003);
+        let pred = 0.1f32;
+        for k in -200i64..200 {
+            let value = pred + (k as f32) * 0.006;
+            let (code, recon) = q.quantize(value, pred).unwrap();
+            assert_eq!(q.reconstruct(pred, code), recon);
+            assert!((recon - value).abs() <= 0.003 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! MSB-first bit-level I/O over byte buffers.
+
+use crate::CodecError;
+
+/// Accumulates bits most-significant-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with reserved output capacity in bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            out: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Append the low `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// Panics if `n > 57` (keeps the accumulator flush-free in one branch)
+    /// or if `value` has bits above `n`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
+        debug_assert!(
+            n == 64 || value >> n == 0,
+            "value {value:#x} wider than {n} bits"
+        );
+        self.acc = (self.acc << n) | value;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Append a full 32-bit word (two calls under the 57-bit limit).
+    #[inline]
+    pub fn write_u32(&mut self, value: u32) {
+        self.write_bits(value as u64, 32);
+    }
+
+    /// Number of complete bytes plus any pending partial byte.
+    pub fn byte_len(&self) -> usize {
+        self.out.len() + usize::from(self.nbits > 0)
+    }
+
+    /// Pad the final partial byte with zeros and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.out.push(self.acc as u8);
+            self.nbits = 0;
+        }
+        self.out
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self, need: u32) -> Result<(), CodecError> {
+        while self.nbits < need {
+            let byte = *self.data.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+            self.pos += 1;
+            self.acc = (self.acc << 8) | byte as u64;
+            self.nbits += 8;
+        }
+        Ok(())
+    }
+
+    /// Read `n` bits (`n <= 57`), MSB first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
+        debug_assert!(n <= 57);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill(n)?;
+        self.nbits -= n;
+        let v = (self.acc >> self.nbits) & ((1u64 << n) - 1);
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Read a full 32-bit word.
+    #[inline]
+    pub fn read_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(self.read_bits(32)? as u32)
+    }
+
+    /// Peek the next `n` bits without consuming them, zero-padding past the
+    /// end of the input. Used by table-accelerated Huffman decoding.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!((1..=56).contains(&n));
+        while self.nbits < n && self.pos < self.data.len() {
+            self.acc = (self.acc << 8) | self.data[self.pos] as u64;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        let mask = (1u64 << n) - 1;
+        if self.nbits >= n {
+            (self.acc >> (self.nbits - n)) & mask
+        } else {
+            (self.acc << (n - self.nbits)) & mask
+        }
+    }
+
+    /// Consume `n` bits previously peeked.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<(), CodecError> {
+        self.refill(n)?;
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Bits consumed so far, counting whole bytes pulled from the input.
+    pub fn bits_consumed(&self) -> usize {
+        self.pos * 8 - self.nbits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bit(false);
+        w.write_bits(42, 13);
+        w.write_u32(0xDEAD_BEEF);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(13).unwrap(), 42);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn finish_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn byte_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0x7F, 7);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(1, 1);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn bits_consumed_counts_reads() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3FF, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(10).unwrap();
+        assert_eq!(r.bits_consumed(), 10);
+    }
+
+    #[test]
+    fn many_random_values_round_trip() {
+        // Deterministic pseudo-random widths/values without external crates.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut items = Vec::new();
+        let mut w = BitWriter::new();
+        for _ in 0..10_000 {
+            let n = (next() % 57 + 1) as u32;
+            let v = next() & ((1u64 << n) - 1);
+            items.push((v, n));
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in items {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+}

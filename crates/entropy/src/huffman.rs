@@ -1,0 +1,422 @@
+//! Canonical Huffman coding over a dense `u32` alphabet.
+//!
+//! Used by the SZ2/SZ3 quantization-code stage and by the deflate-style
+//! lossless codecs. The code-length table is serialized with run-length
+//! encoding so that sparse alphabets (e.g. 2^16 quantization bins of which a
+//! few hundred occur) cost little header space.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Maximum admitted code length. Streams are decodable with a plain u64
+/// accumulator and headers stay small; frequencies are flattened until the
+/// implicit tree fits.
+const MAX_LEN: u8 = 32;
+
+/// Compute Huffman code lengths for `freqs` (zero-frequency symbols get
+/// length 0), flattening frequencies until no code exceeds `MAX_LEN`.
+fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = code_lengths_once(&f);
+        if lens.iter().all(|&l| l <= MAX_LEN) {
+            return lens;
+        }
+        for x in &mut f {
+            if *x > 0 {
+                *x = x.div_ceil(2);
+            }
+        }
+    }
+}
+
+fn code_lengths_once(freqs: &[u64]) -> Vec<u8> {
+    // Nodes: leaves first, then internal nodes appended.
+    #[derive(Clone, Copy)]
+    struct Node {
+        parent: u32,
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(freqs.len() * 2);
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+        std::collections::BinaryHeap::new();
+    for (i, &f) in freqs.iter().enumerate() {
+        nodes.push(Node { parent: u32::MAX });
+        if f > 0 {
+            heap.push(std::cmp::Reverse((f, i as u32)));
+        }
+    }
+    let live = heap.len();
+    let mut lens = vec![0u8; freqs.len()];
+    if live == 0 {
+        return lens;
+    }
+    if live == 1 {
+        // A single distinct symbol still needs one bit on the wire.
+        let idx = heap.pop().unwrap().0 .1;
+        lens[idx as usize] = 1;
+        return lens;
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().unwrap();
+        let std::cmp::Reverse((fb, b)) = heap.pop().unwrap();
+        let id = nodes.len() as u32;
+        nodes.push(Node { parent: u32::MAX });
+        nodes[a as usize].parent = id;
+        nodes[b as usize].parent = id;
+        heap.push(std::cmp::Reverse((fa + fb, id)));
+    }
+    for (i, len) in lens.iter_mut().enumerate() {
+        if freqs[i] == 0 {
+            continue;
+        }
+        let mut depth = 0u32;
+        let mut n = i as u32;
+        while nodes[n as usize].parent != u32::MAX {
+            n = nodes[n as usize].parent;
+            depth += 1;
+        }
+        *len = depth.min(255) as u8;
+    }
+    lens
+}
+
+/// Assign canonical codes given lengths. Returns `(code, len)` per symbol.
+fn canonical_codes(lens: &[u8]) -> Vec<(u32, u8)> {
+    let mut order: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
+    order.sort_unstable_by_key(|&s| (lens[s as usize], s));
+    let mut codes = vec![(0u32, 0u8); lens.len()];
+    let mut code: u32 = 0;
+    let mut prev_len = 0u8;
+    for &s in &order {
+        let len = lens[s as usize];
+        code <<= len - prev_len;
+        codes[s as usize] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Encoder side of a canonical Huffman code.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    codes: Vec<(u32, u8)>,
+}
+
+impl HuffmanEncoder {
+    /// Build a code from symbol frequencies (index = symbol).
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let lens = code_lengths(freqs);
+        Self {
+            codes: canonical_codes(&lens),
+        }
+    }
+
+    /// Serialize the code-length table (RLE of equal lengths).
+    pub fn write_table(&self, w: &mut BitWriter) {
+        w.write_u32(self.codes.len() as u32);
+        let mut i = 0usize;
+        while i < self.codes.len() {
+            let len = self.codes[i].1;
+            let mut run = 1usize;
+            while i + run < self.codes.len() && self.codes[i + run].1 == len {
+                run += 1;
+            }
+            let mut remaining = run;
+            while remaining > 0 {
+                let chunk = remaining.min(u16::MAX as usize);
+                w.write_bits(len as u64, 6);
+                w.write_bits(chunk as u64, 16);
+                remaining -= chunk;
+            }
+            i += run;
+        }
+    }
+
+    /// Emit one symbol.
+    ///
+    /// # Panics
+    /// Panics (debug) if the symbol had zero frequency at build time.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, sym: u32) {
+        let (code, len) = self.codes[sym as usize];
+        debug_assert!(len > 0, "encoding symbol {sym} absent from the frequency table");
+        w.write_bits(code as u64, len as u32);
+    }
+
+    /// Code length in bits for a symbol (0 if absent).
+    pub fn len_of(&self, sym: u32) -> u8 {
+        self.codes[sym as usize].1
+    }
+
+    /// Exact size in bits of encoding `freqs[sym]` occurrences of each symbol
+    /// (excluding the table header). Useful for cost estimation.
+    pub fn payload_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * self.codes[s].1 as u64)
+            .sum()
+    }
+}
+
+/// Bits resolved by the primary decode lookup table.
+const LOOKUP_BITS: u32 = 12;
+
+/// Decoder side of a canonical Huffman code.
+///
+/// Decoding is table-accelerated: codes up to [`LOOKUP_BITS`] long resolve
+/// with one peek + table hit; longer codes fall back to a canonical
+/// length-first walk.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// Primary table: `(symbol, code_len)` per LOOKUP_BITS-bit prefix;
+    /// `code_len == 0` marks a long code needing the slow path.
+    lookup: Vec<(u32, u8)>,
+    /// Symbols sorted by (len, symbol).
+    syms: Vec<u32>,
+    /// For each length 1..=MAX_LEN: canonical code of the first symbol.
+    first_code: [u32; MAX_LEN as usize + 1],
+    /// For each length: index into `syms` of the first symbol.
+    offset: [u32; MAX_LEN as usize + 1],
+    /// For each length: number of symbols.
+    count: [u32; MAX_LEN as usize + 1],
+    max_len: u8,
+}
+
+impl HuffmanDecoder {
+    /// Rebuild the decoder from a serialized table.
+    pub fn read_table(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_u32()? as usize;
+        if n > (1 << 26) {
+            return Err(CodecError::Corrupt("huffman alphabet too large"));
+        }
+        let mut lens = vec![0u8; n];
+        let mut filled = 0usize;
+        while filled < n {
+            let len = r.read_bits(6)? as u8;
+            let run = r.read_bits(16)? as usize;
+            if run == 0 || filled + run > n {
+                return Err(CodecError::Corrupt("bad huffman RLE run"));
+            }
+            for l in &mut lens[filled..filled + run] {
+                *l = len;
+            }
+            filled += run;
+        }
+        Self::from_lengths(&lens)
+    }
+
+    /// Build directly from code lengths.
+    pub fn from_lengths(lens: &[u8]) -> Result<Self, CodecError> {
+        let mut syms: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
+        syms.sort_unstable_by_key(|&s| (lens[s as usize], s));
+        let mut first_code = [0u32; MAX_LEN as usize + 1];
+        let mut offset = [0u32; MAX_LEN as usize + 1];
+        let mut count = [0u32; MAX_LEN as usize + 1];
+        let mut max_len = 0u8;
+        for &s in &syms {
+            let l = lens[s as usize];
+            if l > MAX_LEN {
+                return Err(CodecError::Corrupt("huffman length exceeds limit"));
+            }
+            count[l as usize] += 1;
+            max_len = max_len.max(l);
+        }
+        let mut code = 0u32;
+        let mut idx = 0u32;
+        for l in 1..=max_len {
+            code <<= 1;
+            first_code[l as usize] = code;
+            offset[l as usize] = idx;
+            code = code
+                .checked_add(count[l as usize])
+                .ok_or(CodecError::Corrupt("huffman code overflow"))?;
+            // Kraft check: the codes of this length must fit in l bits, or
+            // the table is not a valid canonical code (corrupt stream).
+            if u64::from(code) > 1u64 << l {
+                return Err(CodecError::Corrupt("huffman lengths violate Kraft"));
+            }
+            idx += count[l as usize];
+        }
+        // Primary lookup table for short codes.
+        let mut lookup = vec![(0u32, 0u8); 1 << LOOKUP_BITS];
+        {
+            let mut code = 0u32;
+            let mut idx = 0usize;
+            for l in 1..=max_len.min(LOOKUP_BITS as u8) {
+                code <<= 1;
+                for k in 0..count[l as usize] {
+                    let sym = syms[idx + k as usize];
+                    let prefix = ((code + k) as usize) << (LOOKUP_BITS - l as u32);
+                    for slot in &mut lookup[prefix..prefix + (1usize << (LOOKUP_BITS - l as u32))] {
+                        *slot = (sym, l);
+                    }
+                }
+                code += count[l as usize];
+                idx += count[l as usize] as usize;
+            }
+        }
+        Ok(Self {
+            lookup,
+            syms,
+            first_code,
+            offset,
+            count,
+            max_len,
+        })
+    }
+
+    /// Decode one symbol.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        let prefix = r.peek_bits(LOOKUP_BITS) as usize;
+        let (sym, len) = self.lookup[prefix];
+        if len != 0 {
+            r.consume(len as u32)?;
+            return Ok(sym);
+        }
+        self.decode_slow(r)
+    }
+
+    /// Length-first canonical walk for codes longer than the lookup table.
+    #[cold]
+    fn decode_slow(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | r.read_bits(1)? as u32;
+            let li = l as usize;
+            if self.count[li] > 0 {
+                let rel = code.wrapping_sub(self.first_code[li]);
+                if rel < self.count[li] {
+                    return Ok(self.syms[(self.offset[li] + rel) as usize]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("invalid huffman code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(symbols: &[u32], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        for &s in symbols {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let dec = HuffmanDecoder::read_table(&mut r).unwrap();
+        for &s in symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn skewed_alphabet_round_trip() {
+        let mut syms = Vec::new();
+        for i in 0..2000u32 {
+            // Heavily skewed toward small symbols, like quantization codes.
+            let s = (i * i) % 37;
+            syms.push(s);
+        }
+        round_trip(&syms, 64);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        round_trip(&[5u32; 100], 16);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let syms: Vec<u32> = (0..64).map(|i| i % 2).collect();
+        round_trip(&syms, 2);
+    }
+
+    #[test]
+    fn large_sparse_alphabet() {
+        let syms: Vec<u32> = (0..3000).map(|i| (i * 7919) % 65536).collect();
+        round_trip(&syms, 65536);
+    }
+
+    #[test]
+    fn skewed_code_is_shorter_for_frequent_symbols() {
+        let mut freqs = vec![0u64; 4];
+        freqs[0] = 1000;
+        freqs[1] = 10;
+        freqs[2] = 10;
+        freqs[3] = 10;
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        assert!(enc.len_of(0) < enc.len_of(1));
+    }
+
+    #[test]
+    fn payload_bits_matches_actual_encoding() {
+        let syms: Vec<u32> = (0..500).map(|i| i % 7).collect();
+        let mut freqs = vec![0u64; 8];
+        for &s in &syms {
+            freqs[s as usize] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            enc.encode(&mut w, s);
+        }
+        let actual_bits = syms
+            .iter()
+            .map(|&s| enc.len_of(s) as u64)
+            .sum::<u64>();
+        assert_eq!(enc.payload_bits(&freqs), actual_bits);
+        assert_eq!(w.finish().len(), actual_bits.div_ceil(8) as usize);
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let enc = HuffmanEncoder::from_frequencies(&[0u64; 10]);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let dec = HuffmanDecoder::read_table(&mut r).unwrap();
+        assert_eq!(dec.max_len, 0);
+    }
+
+    #[test]
+    fn corrupt_table_is_rejected() {
+        // Claim a huge alphabet with no data behind it.
+        let mut w = BitWriter::new();
+        w.write_u32(1 << 27);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(HuffmanDecoder::read_table(&mut r).is_err());
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let mut freqs = vec![0u64; 300];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 % 17) + 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let kraft: f64 = (0..300u32)
+            .map(|s| {
+                let l = enc.len_of(s);
+                if l == 0 {
+                    0.0
+                } else {
+                    2f64.powi(-(l as i32))
+                }
+            })
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft {kraft}");
+    }
+}

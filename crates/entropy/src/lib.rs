@@ -1,0 +1,42 @@
+//! Entropy-coding primitives shared by the lossless codecs and the
+//! error-bounded lossy compressors.
+//!
+//! Everything here is implemented from scratch:
+//!
+//! * [`bitio`] — MSB-first bit-level writer/reader.
+//! * [`huffman`] — canonical Huffman coding over arbitrary `u32` alphabets,
+//!   with a compact code-length header.
+//! * [`rangecoder`] — adaptive binary range coder (LZMA-style), used by the
+//!   `xz`-analogue codec.
+//! * [`crc32`] — IEEE CRC-32, used by the `gzip`-analogue framing.
+//! * [`varint`] — LEB128 variable-length integers for frame headers.
+
+pub mod bitio;
+pub mod crc32;
+pub mod huffman;
+pub mod rangecoder;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use huffman::{HuffmanDecoder, HuffmanEncoder};
+pub use rangecoder::{BitModel, RangeDecoder, RangeEncoder};
+
+/// Errors produced while decoding entropy-coded streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the decoder finished.
+    UnexpectedEof,
+    /// A header or payload failed validation.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,303 @@
+//! Adaptive binary range coder (LZMA-style), the entropy backbone of the
+//! `xz`-analogue codec.
+//!
+//! Probabilities are 11-bit fixed point, adapted with shift-5 updates; the
+//! encoder carries a 33-bit `low` with carry propagation through a cache
+//! byte, exactly like the classic LZMA rc.
+
+use crate::CodecError;
+
+const PROB_BITS: u32 = 11;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+const ADAPT_SHIFT: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// Adaptive probability of a bit being 0.
+#[derive(Debug, Clone, Copy)]
+pub struct BitModel(u16);
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel(PROB_ONE / 2)
+    }
+}
+
+impl BitModel {
+    /// Fresh model at probability 1/2.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn update(&mut self, bit: u8) {
+        if bit == 0 {
+            self.0 += (PROB_ONE - self.0) >> ADAPT_SHIFT;
+        } else {
+            self.0 -= self.0 >> ADAPT_SHIFT;
+        }
+    }
+}
+
+/// Range encoder writing to an internal buffer.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Fresh encoder.
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > u32::MAX as u64 {
+            let carry = (self.low >> 32) as u8;
+            let mut first = true;
+            while self.cache_size > 0 {
+                let byte = if first {
+                    self.cache.wrapping_add(carry)
+                } else {
+                    0xFFu8.wrapping_add(carry)
+                };
+                self.out.push(byte);
+                first = false;
+                self.cache_size -= 1;
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encode one bit under an adaptive model.
+    #[inline]
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: u8) {
+        let bound = (self.range >> PROB_BITS) * model.0 as u32;
+        if bit == 0 {
+            self.range = bound;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+        }
+        model.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode `n` raw bits (MSB first) without modeling, at ~1 bit/bit cost.
+    pub fn encode_direct(&mut self, value: u32, n: u32) {
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            self.range >>= 1;
+            if bit == 1 {
+                self.low += self.range as u64;
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Flush and return the compressed bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder reading from a slice.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Initialize from an encoder-produced buffer.
+    pub fn new(data: &'a [u8]) -> Result<Self, CodecError> {
+        if data.is_empty() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut d = Self {
+            code: 0,
+            range: u32::MAX,
+            data,
+            pos: 1, // first byte is the encoder's initial zero cache
+        };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        Ok(d)
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // Reading past the end yields zeros; the encoder's 5-byte flush
+        // guarantees all modeled bits resolve before that matters.
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decode one bit under an adaptive model.
+    #[inline]
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> u8 {
+        let bound = (self.range >> PROB_BITS) * model.0 as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            0
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            1
+        };
+        model.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+
+    /// Decode `n` raw bits written with [`RangeEncoder::encode_direct`].
+    pub fn decode_direct(&mut self, n: u32) -> u32 {
+        let mut value = 0u32;
+        for _ in 0..n {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | self.next_byte() as u32;
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_bits_round_trip_and_compress() {
+        // 95% zeros: the adaptive model should land well under 1 bit/bit.
+        let bits: Vec<u8> = (0..20_000u32).map(|i| u8::from(i % 20 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        assert!(
+            data.len() < bits.len() / 8 / 2,
+            "biased stream should compress >2x, got {} bytes",
+            data.len()
+        );
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut m), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_round_trip() {
+        let values: Vec<(u32, u32)> = (0..2000u32)
+            .map(|i| {
+                let n = i % 24 + 1;
+                (i.wrapping_mul(2654435761) & ((1 << n) - 1), n)
+            })
+            .collect();
+        let mut enc = RangeEncoder::new();
+        for &(v, n) in &values {
+            enc.encode_direct(v, n);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        for &(v, n) in &values {
+            assert_eq!(dec.decode_direct(n), v);
+        }
+    }
+
+    #[test]
+    fn mixed_modeled_and_direct() {
+        let mut enc = RangeEncoder::new();
+        let mut m0 = BitModel::new();
+        let mut m1 = BitModel::new();
+        for i in 0..5000u32 {
+            enc.encode_bit(&mut m0, (i % 3 == 0) as u8);
+            enc.encode_direct(i & 0xF, 4);
+            enc.encode_bit(&mut m1, (i % 7 == 0) as u8);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        let mut m0 = BitModel::new();
+        let mut m1 = BitModel::new();
+        for i in 0..5000u32 {
+            assert_eq!(dec.decode_bit(&mut m0), (i % 3 == 0) as u8);
+            assert_eq!(dec.decode_direct(4), i & 0xF);
+            assert_eq!(dec.decode_bit(&mut m1), (i % 7 == 0) as u8);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(RangeDecoder::new(&[]).is_err());
+    }
+
+    #[test]
+    fn random_bits_cost_about_one_bit_each() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut bits = Vec::new();
+        for _ in 0..16_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bits.push((state & 1) as u8);
+        }
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        let ideal = bits.len() / 8;
+        assert!(
+            data.len() <= ideal + ideal / 10 + 16,
+            "incompressible stream blew up: {} vs ideal {}",
+            data.len(),
+            ideal
+        );
+    }
+}

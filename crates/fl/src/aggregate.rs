@@ -1,0 +1,67 @@
+//! FedAvg aggregation (McMahan et al. 2017): the sample-weighted average of
+//! client state dictionaries.
+
+use fedsz_tensor::StateDict;
+
+/// Weighted average of client updates; weights are client sample counts.
+///
+/// Every entry is averaged, including batch-norm running statistics and
+/// counters — matching APPFL's server-side handling of full state dicts.
+///
+/// # Panics
+/// Panics on an empty update set, zero total weight, or mismatched
+/// structures.
+pub fn fedavg(updates: &[(StateDict, usize)]) -> StateDict {
+    assert!(!updates.is_empty(), "fedavg needs at least one update");
+    let total: usize = updates.iter().map(|(_, n)| n).sum();
+    assert!(total > 0, "fedavg needs a positive total sample count");
+    let mut acc = updates[0].0.zeros_like();
+    for (sd, n) in updates {
+        acc.axpy(*n as f32 / total as f32, sd);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::{Tensor, TensorKind};
+
+    fn dict(v: f32) -> StateDict {
+        let mut sd = StateDict::new();
+        sd.insert("w.weight", TensorKind::Weight, Tensor::from_vec(vec![v; 4]));
+        sd.insert("w.bias", TensorKind::Bias, Tensor::from_vec(vec![2.0 * v]));
+        sd
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let agg = fedavg(&[(dict(1.0), 10), (dict(3.0), 10)]);
+        assert_eq!(agg.get("w.weight").unwrap().data(), &[2.0; 4]);
+        assert_eq!(agg.get("w.bias").unwrap().data(), &[4.0]);
+    }
+
+    #[test]
+    fn sample_counts_weight_the_mean() {
+        let agg = fedavg(&[(dict(0.0), 30), (dict(4.0), 10)]);
+        assert_eq!(agg.get("w.weight").unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn single_client_is_identity() {
+        let agg = fedavg(&[(dict(7.0), 5)]);
+        assert_eq!(agg, dict(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one update")]
+    fn empty_rejected() {
+        fedavg(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn zero_weight_rejected() {
+        fedavg(&[(dict(1.0), 0)]);
+    }
+}

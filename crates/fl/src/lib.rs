@@ -1,0 +1,19 @@
+//! FedAvg federated-learning orchestration with FedSZ-compressed client
+//! updates — the simulation harness behind the paper's accuracy and
+//! communication experiments.
+//!
+//! A [`session::run`] executes the full loop of Figure 1: broadcast the
+//! global model, train locally on each client's shard (Rayon-parallel),
+//! compress each client's state dict with FedSZ, decompress and
+//! FedAvg-aggregate at the server, and evaluate on a held-out set. All
+//! timing and size measurements needed by Tables I/V and Figures 4–7 are
+//! recorded per round.
+
+pub mod aggregate;
+pub mod partition;
+pub mod session;
+pub mod transport;
+
+pub use aggregate::fedavg;
+pub use session::{run, run_scheduled, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD};
+pub use transport::run_threaded;

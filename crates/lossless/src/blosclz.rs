@@ -1,0 +1,218 @@
+//! blosc-lz analogue: byte-shuffle filter + FastLZ-style byte-aligned LZ.
+//!
+//! No entropy coding stage at all — compression comes from the shuffle
+//! exposing runs in float exponent bytes and a single-probe hash matcher
+//! finding them. This is what makes the real blosc-lz an order of magnitude
+//! faster than deflate-family codecs at a comparable ratio on float metadata
+//! (Table II of the paper).
+
+use fedsz_entropy::{varint, CodecError};
+
+use crate::shuffle::{shuffle, unshuffle};
+
+const HASH_LOG: u32 = 14;
+const WINDOW: usize = 1 << 13; // 13-bit offsets
+const MIN_MATCH: usize = 4;
+const MAX_LITERAL_RUN: usize = 32;
+
+#[inline]
+fn hash(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_LOG)) as usize
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &mut Vec<u8>) {
+    for chunk in lits.chunks(MAX_LITERAL_RUN) {
+        out.push((chunk.len() - 1) as u8);
+        out.extend_from_slice(chunk);
+    }
+    lits.clear();
+}
+
+/// Byte-aligned LZ encode (no shuffle).
+fn lz_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table = vec![u32::MAX; 1 << HASH_LOG];
+    let mut lits: Vec<u8> = Vec::with_capacity(64);
+    let mut i = 0usize;
+    while i < data.len() {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            let cand = table[h];
+            table[h] = i as u32;
+            if cand != u32::MAX {
+                let c = cand as usize;
+                let dist = i - c;
+                if (1..=WINDOW).contains(&dist) && data[c..c + MIN_MATCH] == data[i..i + MIN_MATCH] {
+                    let mut len = MIN_MATCH;
+                    while i + len < data.len() && data[c + len] == data[i + len] {
+                        len += 1;
+                    }
+                    flush_literals(&mut out, &mut lits);
+                    let off = dist - 1; // 0..8191 in 13 bits
+                    if len <= 9 {
+                        // Short match: 3-bit length code 1..6 => len 4..9.
+                        let lc = (len - 3) as u8; // 1..6
+                        out.push((lc << 5) | ((off >> 8) as u8));
+                        out.push(off as u8);
+                    } else {
+                        // Long match: code 7, explicit varint of len - 10.
+                        out.push((7u8 << 5) | ((off >> 8) as u8));
+                        out.push(off as u8);
+                        varint::write_usize(&mut out, len - 10);
+                    }
+                    // Seed a few positions inside the match for future hits.
+                    let end = (i + len).min(data.len().saturating_sub(MIN_MATCH));
+                    let mut j = i + 1;
+                    while j < end {
+                        table[hash(data, j)] = j as u32;
+                        j += 3;
+                    }
+                    i += len;
+                    continue;
+                }
+            }
+        }
+        lits.push(data[i]);
+        if lits.len() == MAX_LITERAL_RUN {
+            flush_literals(&mut out, &mut lits);
+        }
+        i += 1;
+    }
+    flush_literals(&mut out, &mut lits);
+    out
+}
+
+/// Byte-aligned LZ decode.
+fn lz_decode(data: &[u8], orig_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(orig_len);
+    let mut pos = 0usize;
+    while out.len() < orig_len {
+        let tag = *data.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        pos += 1;
+        let lc = tag >> 5;
+        if lc == 0 {
+            let run = (tag & 0x1F) as usize + 1;
+            let end = pos + run;
+            let chunk = data.get(pos..end).ok_or(CodecError::UnexpectedEof)?;
+            out.extend_from_slice(chunk);
+            pos = end;
+        } else {
+            let hi = (tag & 0x1F) as usize;
+            let lo = *data.get(pos).ok_or(CodecError::UnexpectedEof)? as usize;
+            pos += 1;
+            let dist = (hi << 8 | lo) + 1;
+            let len = if lc < 7 {
+                lc as usize + 3
+            } else {
+                10 + varint::read_usize(data, &mut pos)?
+            };
+            if dist > out.len() || out.len() + len > orig_len {
+                return Err(CodecError::Corrupt("bad blosclz match"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compress with shuffle(typesize) + fast LZ.
+/// Format: `[varint orig_len][u8 typesize][lz payload]`.
+pub fn compress(data: &[u8], typesize: usize) -> Vec<u8> {
+    debug_assert!((1..=255).contains(&typesize));
+    let shuffled = shuffle(data, typesize);
+    let payload = lz_encode(&shuffled);
+    let mut out = Vec::with_capacity(payload.len() + 10);
+    varint::write_usize(&mut out, data.len());
+    out.push(typesize as u8);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompress a [`compress`] buffer.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let orig_len = varint::read_usize(data, &mut pos)?;
+    let typesize = *data.get(pos).ok_or(CodecError::UnexpectedEof)? as usize;
+    pos += 1;
+    if typesize == 0 {
+        return Err(CodecError::Corrupt("typesize zero"));
+    }
+    let shuffled = lz_decode(&data[pos..], orig_len)?;
+    Ok(unshuffle(&shuffled, typesize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], typesize: usize) -> usize {
+        let c = compress(data, typesize);
+        assert_eq!(decompress(&c).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        for ts in [1usize, 4] {
+            round_trip(b"", ts);
+            round_trip(b"x", ts);
+            round_trip(b"abcd", ts);
+        }
+    }
+
+    #[test]
+    fn float_array_benefits_from_shuffle() {
+        let mut data = Vec::new();
+        for i in 0..8192 {
+            data.extend_from_slice(&(0.5f32 + (i as f32) * 1e-5).to_le_bytes());
+        }
+        let with_shuffle = round_trip(&data, 4);
+        let without = round_trip(&data, 1);
+        assert!(
+            with_shuffle < without,
+            "shuffle should help floats: {with_shuffle} vs {without}"
+        );
+        assert!(with_shuffle < data.len() / 2);
+    }
+
+    #[test]
+    fn long_runs_use_long_matches() {
+        let data = vec![7u8; 100_000];
+        let clen = round_trip(&data, 1);
+        assert!(clen < 200, "run of 100k compressed to {clen}");
+    }
+
+    #[test]
+    fn pseudorandom_survives() {
+        let mut state = 99u64;
+        let data: Vec<u8> = (0..40_000)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 40) as u8
+            })
+            .collect();
+        let clen = round_trip(&data, 4);
+        // Worst case: one tag byte per 32 literals.
+        assert!(clen <= data.len() + data.len() / 16 + 16);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let data = [1u8, 2, 3, 4].repeat(100);
+        let mut c = compress(&data, 4);
+        c.truncate(c.len() - 3);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn corrupt_typesize_rejected() {
+        let mut c = compress(b"abcdefgh", 4);
+        c[1] = 0;
+        assert!(decompress(&c).is_err());
+    }
+}

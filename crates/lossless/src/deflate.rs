@@ -1,0 +1,201 @@
+//! Deflate-style entropy coding of LZ77 tokens: a literal/length Huffman
+//! alphabet plus a distance alphabet, with power-of-two "slots" carrying
+//! extra raw bits. Shared by the zlib, gzip, and zstd analogue codecs.
+
+use fedsz_entropy::bitio::{BitReader, BitWriter};
+use fedsz_entropy::huffman::{HuffmanDecoder, HuffmanEncoder};
+use fedsz_entropy::{varint, CodecError};
+
+use crate::lz::{detokenize, tokenize, MatcherParams, Token};
+
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: u32 = 256;
+/// First match-length slot symbol.
+const LEN_BASE: u32 = 257;
+/// Number of length slots (lengths up to 2^32 would need 32; our max match
+/// is 2^12 so 16 is ample, but keep 32 for safety).
+const LEN_SLOTS: u32 = 32;
+/// Number of distance slots.
+const DIST_SLOTS: u32 = 32;
+
+/// Slot decomposition: value `v` maps to `(slot, extra_bits, extra_value)`
+/// where `slot = bitlen(v+1) - 1` and `v + 1 = 2^slot + extra_value`.
+#[inline]
+fn slot_of(v: u32) -> (u32, u32, u32) {
+    let x = v + 1;
+    let slot = 31 - x.leading_zeros();
+    (slot, slot, x - (1 << slot))
+}
+
+/// Inverse of [`slot_of`].
+#[inline]
+fn unslot(slot: u32, extra: u32) -> u32 {
+    (1u32 << slot) + extra - 1
+}
+
+/// Compress `data` with the given matcher profile. Self-contained format:
+/// `[varint orig_len][min_match u8][bit-packed tables + tokens]`.
+pub fn compress(data: &[u8], params: &MatcherParams) -> Vec<u8> {
+    let tokens = tokenize(data, params);
+
+    let mut lit_freq = vec![0u64; (LEN_BASE + LEN_SLOTS) as usize];
+    let mut dist_freq = vec![0u64; DIST_SLOTS as usize];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (ls, _, _) = slot_of(len - params.min_match as u32);
+                lit_freq[(LEN_BASE + ls) as usize] += 1;
+                let (ds, _, _) = slot_of(dist - 1);
+                dist_freq[ds as usize] += 1;
+            }
+        }
+    }
+    lit_freq[EOB as usize] = 1;
+
+    let lit_enc = HuffmanEncoder::from_frequencies(&lit_freq);
+    let dist_enc = HuffmanEncoder::from_frequencies(&dist_freq);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    varint::write_usize(&mut out, data.len());
+    out.push(params.min_match as u8);
+
+    let mut w = BitWriter::with_capacity(data.len() / 2);
+    lit_enc.write_table(&mut w);
+    dist_enc.write_table(&mut w);
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.encode(&mut w, b as u32),
+            Token::Match { len, dist } => {
+                let (ls, lbits, lextra) = slot_of(len - params.min_match as u32);
+                lit_enc.encode(&mut w, LEN_BASE + ls);
+                w.write_bits(lextra as u64, lbits);
+                let (ds, dbits, dextra) = slot_of(dist - 1);
+                dist_enc.encode(&mut w, ds);
+                w.write_bits(dextra as u64, dbits);
+            }
+        }
+    }
+    lit_enc.encode(&mut w, EOB);
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let orig_len = varint::read_usize(data, &mut pos)?;
+    let min_match = *data.get(pos).ok_or(CodecError::UnexpectedEof)? as u32;
+    pos += 1;
+
+    let mut r = BitReader::new(&data[pos..]);
+    let lit_dec = HuffmanDecoder::read_table(&mut r)?;
+    let dist_dec = HuffmanDecoder::read_table(&mut r)?;
+
+    let mut tokens = Vec::new();
+    loop {
+        let sym = lit_dec.decode(&mut r)?;
+        if sym < 256 {
+            tokens.push(Token::Literal(sym as u8));
+        } else if sym == EOB {
+            break;
+        } else {
+            let ls = sym - LEN_BASE;
+            if ls >= LEN_SLOTS {
+                return Err(CodecError::Corrupt("length slot out of range"));
+            }
+            let lextra = r.read_bits(ls)? as u32;
+            let len = unslot(ls, lextra) + min_match;
+            let ds = dist_dec.decode(&mut r)?;
+            if ds >= DIST_SLOTS {
+                return Err(CodecError::Corrupt("distance slot out of range"));
+            }
+            let dextra = r.read_bits(ds)? as u32;
+            let dist = unslot(ds, dextra) + 1;
+            tokens.push(Token::Match { len, dist });
+        }
+        // Defensive cap: a valid stream never has more tokens than bytes + 1.
+        if tokens.len() > orig_len + 1 {
+            return Err(CodecError::Corrupt("token stream longer than output"));
+        }
+    }
+    detokenize(&tokens, orig_len).ok_or(CodecError::Corrupt("invalid LZ references"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_round_trip() {
+        for v in 0u32..100_000 {
+            let (s, bits, extra) = slot_of(v);
+            assert!(extra < (1 << bits).max(1));
+            assert_eq!(unslot(s, extra), v, "v={v}");
+        }
+        // Large values.
+        for v in [1 << 20, (1 << 24) + 12345, u32::MAX - 1] {
+            let (s, _, extra) = slot_of(v);
+            assert_eq!(unslot(s, extra), v);
+        }
+    }
+
+    fn round_trip(data: &[u8]) -> usize {
+        let c = compress(data, &MatcherParams::deflate());
+        assert_eq!(decompress(&c).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(round_trip(b"") > 0);
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let clen = round_trip(&data);
+        assert!(clen < data.len() / 4, "{clen} vs {}", data.len());
+    }
+
+    #[test]
+    fn incompressible_data_expands_modestly() {
+        let mut state = 0xDEADBEEFu64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let clen = round_trip(&data);
+        assert!(clen < data.len() + data.len() / 20 + 1024);
+    }
+
+    #[test]
+    fn all_profiles_round_trip() {
+        let data: Vec<u8> = (0..30_000u32).flat_map(|i| ((i / 7) as u16).to_le_bytes()).collect();
+        for p in [
+            MatcherParams::deflate(),
+            MatcherParams::deflate_deep(),
+            MatcherParams::wide(),
+            MatcherParams::thorough(),
+        ] {
+            let c = compress(&data, &p);
+            assert_eq!(decompress(&c).unwrap(), data, "profile {p:?}");
+            assert!(c.len() < data.len() / 2);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = b"hello world hello world hello world".to_vec();
+        let mut c = compress(&data, &MatcherParams::deflate());
+        c.truncate(c.len() / 2);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn garbage_header_errors() {
+        assert!(decompress(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]).is_err());
+    }
+}

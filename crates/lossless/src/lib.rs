@@ -1,0 +1,175 @@
+//! From-scratch lossless codecs occupying the same design points as the five
+//! compressors the FedSZ paper evaluates for metadata compression (Table II):
+//!
+//! | Codec analogue | Design | Expected profile |
+//! |---|---|---|
+//! | [`blosclz`] | byte shuffle + FastLZ-style LZ, no entropy stage | fastest, good on float arrays |
+//! | [`zlib`]    | 32 KiB-window lazy LZ77 + Huffman | mid speed, mid ratio |
+//! | [`gzip`]    | deep-search deflate + CRC-32 trailer | slower than zlib, similar ratio |
+//! | [`zstd`]    | 1 MiB-window greedy LZ77 + Huffman | fast, good ratio |
+//! | [`xz`]      | exhaustive LZ77 + adaptive range coder | slowest, best ratio |
+//!
+//! All codecs are self-framing (`compress` output is all `decompress` needs)
+//! and bit-exact on round trip, which the test suite and the workspace
+//! property tests enforce.
+
+pub mod blosclz;
+pub mod deflate;
+pub mod gzip;
+pub mod lz;
+pub mod shuffle;
+pub mod xz;
+pub mod zlib;
+pub mod zstd;
+
+pub use fedsz_entropy::CodecError;
+
+/// Identifier for one of the five lossless codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LosslessKind {
+    /// Byte-shuffle + fast LZ (the paper's pick for FedSZ metadata).
+    BloscLz,
+    /// Deep deflate with CRC-32 framing.
+    Gzip,
+    /// LZ + adaptive range coder.
+    Xz,
+    /// Standard deflate profile.
+    Zlib,
+    /// Wide-window LZ + Huffman.
+    Zstd,
+}
+
+impl LosslessKind {
+    /// Every codec, in the order Table II lists them.
+    pub fn all() -> [LosslessKind; 5] {
+        [
+            LosslessKind::BloscLz,
+            LosslessKind::Gzip,
+            LosslessKind::Xz,
+            LosslessKind::Zlib,
+            LosslessKind::Zstd,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LosslessKind::BloscLz => "blosc-lz",
+            LosslessKind::Gzip => "gzip",
+            LosslessKind::Xz => "xz",
+            LosslessKind::Zlib => "zlib",
+            LosslessKind::Zstd => "zstd",
+        }
+    }
+
+    /// Stable wire tag for serialized FedSZ frames.
+    pub fn tag(self) -> u8 {
+        match self {
+            LosslessKind::BloscLz => 0,
+            LosslessKind::Gzip => 1,
+            LosslessKind::Xz => 2,
+            LosslessKind::Zlib => 3,
+            LosslessKind::Zstd => 4,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        Ok(match tag {
+            0 => LosslessKind::BloscLz,
+            1 => LosslessKind::Gzip,
+            2 => LosslessKind::Xz,
+            3 => LosslessKind::Zlib,
+            4 => LosslessKind::Zstd,
+            _ => return Err(CodecError::Corrupt("unknown lossless codec tag")),
+        })
+    }
+
+    /// Compress `data`. For [`LosslessKind::BloscLz`] the element width is
+    /// assumed to be 4 bytes (`f32`), matching FedSZ's use on flattened
+    /// tensors; use [`blosclz::compress`] directly for other widths.
+    pub fn compress(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            LosslessKind::BloscLz => blosclz::compress(data, 4),
+            LosslessKind::Gzip => gzip::compress(data),
+            LosslessKind::Xz => xz::compress(data),
+            LosslessKind::Zlib => zlib::compress(data),
+            LosslessKind::Zstd => zstd::compress(data),
+        }
+    }
+
+    /// Decompress a buffer produced by [`compress`](Self::compress).
+    pub fn decompress(self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        match self {
+            LosslessKind::BloscLz => blosclz::decompress(data),
+            LosslessKind::Gzip => gzip::decompress(data),
+            LosslessKind::Xz => xz::decompress(data),
+            LosslessKind::Zlib => zlib::decompress(data),
+            LosslessKind::Zstd => zstd::decompress(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_bytes(n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            let v = ((i as f32) * 0.02).sin() * 0.3 + ((i as f32) * 0.11).cos() * 0.05;
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn every_codec_round_trips_float_data() {
+        let data = float_bytes(10_000);
+        for kind in LosslessKind::all() {
+            let c = kind.compress(&data);
+            assert_eq!(kind.decompress(&c).unwrap(), data, "{}", kind.name());
+            assert!(c.len() < data.len(), "{} did not compress", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_codec_round_trips_empty() {
+        for kind in LosslessKind::all() {
+            let c = kind.compress(b"");
+            assert_eq!(kind.decompress(&c).unwrap(), b"");
+        }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for kind in LosslessKind::all() {
+            assert_eq!(LosslessKind::from_tag(kind.tag()).unwrap(), kind);
+        }
+        assert!(LosslessKind::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn codecs_reject_each_others_streams() {
+        let data = float_bytes(256);
+        let zc = LosslessKind::Zlib.compress(&data);
+        assert!(LosslessKind::Gzip.decompress(&zc).is_err());
+        assert!(LosslessKind::Zstd.decompress(&zc).is_err());
+    }
+
+    #[test]
+    fn xz_has_best_ratio_on_float_metadata() {
+        // The design-point ordering from Table II: xz's ratio should be at
+        // least as good as zlib/gzip on small float metadata arrays.
+        let data = float_bytes(4_096);
+        let xz_len = LosslessKind::Xz.compress(&data).len();
+        let zlib_len = LosslessKind::Zlib.compress(&data).len();
+        assert!(xz_len <= zlib_len, "xz {xz_len} vs zlib {zlib_len}");
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = LosslessKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["blosc-lz", "gzip", "xz", "zlib", "zstd"]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Shared LZ77 tokenizer with hash-chain match finding.
+//!
+//! All byte-oriented codecs in this crate (zlib/gzip/zstd/xz analogues) share
+//! this tokenizer and differ only in their [`MatcherParams`] (window size,
+//! chain depth, lazy evaluation) and in how tokens are entropy-coded.
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A raw byte.
+    Literal(u8),
+    /// Copy `len` bytes from `dist` bytes back in the output.
+    Match {
+        /// Match length in bytes (`>= MatcherParams::min_match`).
+        len: u32,
+        /// Backwards distance in bytes (`>= 1`).
+        dist: u32,
+    },
+}
+
+/// Tuning knobs for the hash-chain matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherParams {
+    /// Window size = `1 << window_log` bytes.
+    pub window_log: u32,
+    /// Maximum hash-chain nodes visited per position.
+    pub chain_depth: u32,
+    /// Minimum match length worth emitting.
+    pub min_match: usize,
+    /// Maximum match length.
+    pub max_match: usize,
+    /// One-step lazy matching (deflate-style).
+    pub lazy: bool,
+}
+
+impl MatcherParams {
+    /// Fast profile: small window, shallow chains (blosc-lz-like interior).
+    pub fn fast() -> Self {
+        Self {
+            window_log: 13,
+            chain_depth: 1,
+            min_match: 4,
+            max_match: 1 << 12,
+            lazy: false,
+        }
+    }
+
+    /// Deflate-like profile (zlib analogue).
+    pub fn deflate() -> Self {
+        Self {
+            window_log: 15,
+            chain_depth: 16,
+            min_match: 3,
+            max_match: 258,
+            lazy: true,
+        }
+    }
+
+    /// Deeper deflate (gzip analogue at high effort).
+    pub fn deflate_deep() -> Self {
+        Self {
+            window_log: 15,
+            chain_depth: 64,
+            min_match: 3,
+            max_match: 258,
+            lazy: true,
+        }
+    }
+
+    /// Large-window, shallow-chain profile (zstd analogue).
+    pub fn wide() -> Self {
+        Self {
+            window_log: 20,
+            chain_depth: 8,
+            min_match: 4,
+            max_match: 1 << 12,
+            lazy: false,
+        }
+    }
+
+    /// Exhaustive profile (xz analogue: best ratio, slow).
+    pub fn thorough() -> Self {
+        Self {
+            window_log: 21,
+            chain_depth: 128,
+            min_match: 3,
+            max_match: 1 << 12,
+            lazy: true,
+        }
+    }
+}
+
+const HASH_LOG: u32 = 16;
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn hash4(data: &[u8], i: usize, min_match: usize) -> usize {
+    // For min_match >= 4 hash 4 bytes, else 3.
+    let v = if min_match >= 4 {
+        u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
+    } else {
+        u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0])
+    };
+    (v.wrapping_mul(2654435761) >> (32 - HASH_LOG)) as usize
+}
+
+struct Chains {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    min_match: usize,
+}
+
+impl Chains {
+    fn new(len: usize, min_match: usize) -> Self {
+        Self {
+            head: vec![NIL; 1 << HASH_LOG],
+            prev: vec![NIL; len],
+            min_match,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        if i + 4 <= data.len() {
+            let h = hash4(data, i, self.min_match);
+            self.prev[i] = self.head[h];
+            self.head[h] = i as u32;
+        }
+    }
+
+    /// Best `(len, dist)` at position `i`, or `None`.
+    fn find(&self, data: &[u8], i: usize, p: &MatcherParams) -> Option<(u32, u32)> {
+        if i + 4 > data.len() {
+            return None;
+        }
+        let window = 1usize << p.window_log;
+        let limit = i.saturating_sub(window);
+        let max_len = p.max_match.min(data.len() - i);
+        if max_len < p.min_match {
+            return None;
+        }
+        let mut best_len = p.min_match - 1;
+        let mut best_dist = 0u32;
+        let mut cand = self.head[hash4(data, i, self.min_match)];
+        let mut depth = p.chain_depth;
+        while cand != NIL && (cand as usize) >= limit && depth > 0 {
+            let c = cand as usize;
+            if c < i {
+                // Quick reject on the byte past the current best.
+                if i + best_len < data.len()
+                    && c + best_len < data.len()
+                    && data[c + best_len] == data[i + best_len]
+                {
+                    let mut l = 0usize;
+                    while l < max_len && data[c + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = (i - c) as u32;
+                        if l >= max_len {
+                            break;
+                        }
+                    }
+                }
+            }
+            cand = self.prev[cand as usize];
+            depth -= 1;
+        }
+        (best_len >= p.min_match).then_some((best_len as u32, best_dist))
+    }
+}
+
+/// Tokenize `data` with the given parameters.
+pub fn tokenize(data: &[u8], p: &MatcherParams) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 4 + 16);
+    let mut chains = Chains::new(data.len(), p.min_match);
+    let mut i = 0usize;
+    while i < data.len() {
+        let found = chains.find(data, i, p);
+        match found {
+            Some((len, dist)) => {
+                let (len, dist) = if p.lazy && i + 1 < data.len() {
+                    // Peek one position ahead; prefer a strictly longer match.
+                    chains.insert(data, i);
+                    match chains.find(data, i + 1, p) {
+                        Some((len2, dist2)) if len2 > len + 1 => {
+                            tokens.push(Token::Literal(data[i]));
+                            i += 1;
+                            (len2, dist2)
+                        }
+                        _ => (len, dist),
+                    }
+                } else {
+                    (len, dist)
+                };
+                tokens.push(Token::Match { len, dist });
+                // Insert every covered position so future matches can start here.
+                let end = (i + len as usize).min(data.len());
+                // Position i may already be inserted by the lazy path; inserting
+                // twice is harmless but wasteful, so track it.
+                let start = if p.lazy { i + 1 } else { i };
+                if !p.lazy {
+                    chains.insert(data, i);
+                }
+                for j in start..end {
+                    chains.insert(data, j);
+                }
+                i = end;
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                chains.insert(data, i);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes.
+///
+/// Returns `None` if a match reaches before the start of the output or the
+/// result would exceed `expected_len`.
+pub fn detokenize(tokens: &[Token], expected_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() || out.len() + len > expected_len {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Overlapping copies (dist < len) must run byte-by-byte.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    (out.len() == expected_len).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], p: &MatcherParams) {
+        let tokens = tokenize(data, p);
+        let back = detokenize(&tokens, data.len()).expect("detokenize failed");
+        assert_eq!(back, data);
+    }
+
+    fn profiles() -> Vec<MatcherParams> {
+        vec![
+            MatcherParams::fast(),
+            MatcherParams::deflate(),
+            MatcherParams::deflate_deep(),
+            MatcherParams::wide(),
+            MatcherParams::thorough(),
+        ]
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for p in profiles() {
+            round_trip(b"", &p);
+            round_trip(b"a", &p);
+            round_trip(b"ab", &p);
+            round_trip(b"abc", &p);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data: Vec<u8> = b"abcdefgh".iter().copied().cycle().take(4096).collect();
+        for p in profiles() {
+            let tokens = tokenize(&data, &p);
+            assert!(
+                tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+                "profile {p:?} found no matches in periodic data"
+            );
+            round_trip(&data, &p);
+        }
+    }
+
+    #[test]
+    fn run_of_one_byte_uses_overlapping_match() {
+        let data = vec![0x42u8; 1000];
+        let p = MatcherParams::deflate();
+        let tokens = tokenize(&data, &p);
+        // A run should need only a handful of tokens (literals then one or
+        // two overlapping matches).
+        assert!(tokens.len() < 20, "run encoded as {} tokens", tokens.len());
+        round_trip(&data, &p);
+    }
+
+    #[test]
+    fn pseudorandom_round_trip() {
+        let mut state = 1u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        for p in profiles() {
+            round_trip(&data, &p);
+        }
+    }
+
+    #[test]
+    fn structured_float_bytes_round_trip() {
+        let mut data = Vec::new();
+        for i in 0..2000 {
+            let v = (i as f32 * 0.001).sin();
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        for p in profiles() {
+            round_trip(&data, &p);
+        }
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distance() {
+        let tokens = vec![Token::Literal(1), Token::Match { len: 4, dist: 9 }];
+        assert!(detokenize(&tokens, 5).is_none());
+    }
+
+    #[test]
+    fn detokenize_rejects_overflow() {
+        let tokens = vec![Token::Literal(1), Token::Match { len: 100, dist: 1 }];
+        assert!(detokenize(&tokens, 5).is_none());
+    }
+
+    #[test]
+    fn deeper_chains_do_not_worsen_token_count() {
+        let data: Vec<u8> = (0..20_000u32)
+            .flat_map(|i| ((i * i) % 251).to_le_bytes())
+            .collect();
+        let shallow = tokenize(&data, &MatcherParams::deflate());
+        let deep = tokenize(&data, &MatcherParams::deflate_deep());
+        assert!(deep.len() <= shallow.len() + shallow.len() / 20);
+    }
+}

@@ -1,0 +1,69 @@
+//! A virtual clock: the deterministic replacement for the paper's
+//! `sleep(bytes / bandwidth)` bandwidth emulation.
+
+/// Monotonic simulated time in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// Clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `seconds`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite durations.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid duration {seconds}"
+        );
+        self.now += seconds;
+    }
+
+    /// Advance to an absolute time, if later than now (used to model waiting
+    /// for the latest of several parallel activities).
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut c = VirtualClock::new();
+        c.advance(5.0);
+        c.advance_to(3.0);
+        assert_eq!(c.now(), 5.0);
+        c.advance_to(7.0);
+        assert_eq!(c.now(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_rejected() {
+        VirtualClock::new().advance(-1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Deterministic, dependency-free random number generation.
+//!
+//! Every experiment in the workspace is seeded so that tables and figures
+//! regenerate bit-identically. `SplitMix64` is small, fast, and passes
+//! BigCrush for the uses we have (weight synthesis, data generation,
+//! shuffling); the heavier `rand` crate is reserved for test-only code.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood, 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Distinct seeds give independent
+    /// streams for all practical purposes.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f64() as f32
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        // Multiply-shift bounded sampling; bias is < 2^-64 * n, negligible.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        // Avoid u == 0 so ln(u) is finite.
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let v = self.next_f64();
+        (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Laplace(0, b) sample via inverse CDF.
+    pub fn laplace(&mut self, b: f64) -> f64 {
+        let u = self.next_f64() - 0.5;
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Sample from a symmetric Dirichlet distribution of the given
+    /// concentration over `k` categories, using Gamma(alpha, 1) marginals
+    /// (Marsaglia–Tsang for alpha >= 1, boosted for alpha < 1).
+    pub fn dirichlet(&mut self, alpha: f64, k: usize) -> Vec<f64> {
+        let mut draws: Vec<f64> = (0..k).map(|_| self.gamma(alpha)).collect();
+        let sum: f64 = draws.iter().sum();
+        if sum <= 0.0 {
+            // Degenerate draw (possible only for tiny alpha): fall back to uniform.
+            return vec![1.0 / k as f64; k];
+        }
+        for d in &mut draws {
+            *d /= sum;
+        }
+        draws
+    }
+
+    fn gamma(&mut self, alpha: f64) -> f64 {
+        if alpha < 1.0 {
+            // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+            let u = self.next_f64().max(f64::MIN_POSITIVE);
+            return self.gamma(alpha + 1.0) * u.powf(1.0 / alpha);
+        }
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = self.next_f64().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[r.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SplitMix64::new(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut r = SplitMix64::new(13);
+        let b = 0.5;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.laplace(b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // Var of Laplace(0, b) is 2 b^2.
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0 * b * b).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut r = SplitMix64::new(17);
+        for &alpha in &[0.1, 0.5, 1.0, 10.0] {
+            let w = r.dirichlet(alpha, 8);
+            assert_eq!(w.len(), 8);
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "alpha {alpha} sum {s}");
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input ordered");
+    }
+}

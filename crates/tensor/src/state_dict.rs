@@ -1,0 +1,203 @@
+//! Ordered model state dictionary — the unit FedSZ compresses.
+//!
+//! Mirrors PyTorch's `state_dict()`: an insertion-ordered map from parameter
+//! name to tensor, where the name encodes the tensor's role
+//! (`features.0.weight`, `bn1.running_mean`, ...). Order is significant:
+//! FedSZ serializes and aggregates entries positionally.
+
+use crate::tensor::{Tensor, TensorKind};
+
+/// One named entry of a state dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// PyTorch-style dotted parameter name.
+    pub name: String,
+    /// Role of the tensor.
+    pub kind: TensorKind,
+    /// The values.
+    pub tensor: Tensor,
+}
+
+/// Insertion-ordered collection of named tensors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    entries: Vec<Entry>,
+}
+
+impl StateDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    ///
+    /// # Panics
+    /// Panics if the name is already present.
+    pub fn insert(&mut self, name: impl Into<String>, kind: TensorKind, tensor: Tensor) {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "duplicate state-dict entry {name:?}"
+        );
+        self.entries.push(Entry { name, kind, tensor });
+    }
+
+    /// Entries in insertion order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Mutable entries in insertion order.
+    pub fn entries_mut(&mut self) -> &mut [Entry] {
+        &mut self.entries
+    }
+
+    /// Look up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.tensor)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.entries.iter().map(|e| e.tensor.numel()).sum()
+    }
+
+    /// Total size in bytes as uncompressed `f32`.
+    pub fn nbytes(&self) -> usize {
+        self.num_params() * 4
+    }
+
+    /// Element-wise `self += alpha * other` across all entries.
+    ///
+    /// # Panics
+    /// Panics if the dictionaries do not have identical structure.
+    pub fn axpy(&mut self, alpha: f32, other: &StateDict) {
+        assert_eq!(self.len(), other.len(), "state-dict structure mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            assert_eq!(a.name, b.name, "state-dict entry order mismatch");
+            a.tensor.axpy(alpha, &b.tensor);
+        }
+    }
+
+    /// Scale all entries in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for e in &mut self.entries {
+            e.tensor.scale(alpha);
+        }
+    }
+
+    /// Zero-filled clone with the same structure.
+    pub fn zeros_like(&self) -> StateDict {
+        StateDict {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| Entry {
+                    name: e.name.clone(),
+                    kind: e.kind,
+                    tensor: Tensor::zeros(e.tensor.shape().to_vec()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Maximum absolute element-wise difference to another dict with the same
+    /// structure.
+    pub fn max_abs_diff(&self, other: &StateDict) -> f32 {
+        assert_eq!(self.len(), other.len(), "state-dict structure mismatch");
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .map(|(a, b)| a.tensor.max_abs_diff(&b.tensor))
+            .fold(0.0, f32::max)
+    }
+}
+
+impl FromIterator<Entry> for StateDict {
+    fn from_iter<T: IntoIterator<Item = Entry>>(iter: T) -> Self {
+        let mut sd = StateDict::new();
+        for e in iter {
+            sd.insert(e.name, e.kind, e.tensor);
+        }
+        sd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateDict {
+        let mut sd = StateDict::new();
+        sd.insert(
+            "conv.weight",
+            TensorKind::Weight,
+            Tensor::new(vec![2, 3], vec![1.0; 6]),
+        );
+        sd.insert("conv.bias", TensorKind::Bias, Tensor::from_vec(vec![0.5, 0.5]));
+        sd
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let sd = sample();
+        assert_eq!(sd.len(), 2);
+        assert_eq!(sd.num_params(), 8);
+        assert_eq!(sd.nbytes(), 32);
+        assert_eq!(sd.get("conv.bias").unwrap().numel(), 2);
+        assert!(sd.get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let mut sd = sample();
+        sd.insert("conv.weight", TensorKind::Weight, Tensor::from_vec(vec![1.0]));
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let sd = sample();
+        let names: Vec<&str> = sd.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["conv.weight", "conv.bias"]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = sample();
+        let b = sample();
+        a.axpy(1.0, &b);
+        assert_eq!(a.get("conv.weight").unwrap().data()[0], 2.0);
+        a.scale(0.5);
+        assert_eq!(a.get("conv.weight").unwrap().data()[0], 1.0);
+    }
+
+    #[test]
+    fn zeros_like_matches_structure() {
+        let z = sample().zeros_like();
+        assert_eq!(z.len(), 2);
+        assert!(z.get("conv.weight").unwrap().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = sample();
+        let mut b = sample();
+        b.entries_mut()[1].tensor.data_mut()[0] = 1.5;
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Edge-deployment decision making: should this device compress?
+//!
+//! Implements the paper's Eqn-1 criterion end to end: measure the codec
+//! cost of a real update on this machine, then decide per bandwidth whether
+//! FedSZ pays for itself — the scenario of Figure 8 (a battery-powered
+//! client on anything from a 1 Mbps uplink to a 10 Gbps datacenter fabric).
+//!
+//! Run: `cargo run --release --example edge_deployment`
+
+use fedsz::{compress_with_stats, decompress_with_stats, FedSzConfig};
+use fedsz_models::ModelKind;
+use fedsz_netsim::{breakeven, Bandwidth};
+
+fn main() {
+    let sd = ModelKind::MobileNetV2.synthesize(10, 9);
+    let cfg = FedSzConfig::default();
+    let (update, stats) = compress_with_stats(&sd, &cfg);
+    let (_, decompress_s) = decompress_with_stats(&update).expect("round trip");
+
+    println!(
+        "update: {:.1} MB -> {:.1} MB, compress {:.3} s, decompress {:.3} s",
+        sd.nbytes() as f64 / 1e6,
+        update.nbytes() as f64 / 1e6,
+        stats.compress_seconds,
+        decompress_s
+    );
+
+    match breakeven::crossover_bandwidth(
+        stats.compress_seconds,
+        decompress_s,
+        sd.nbytes(),
+        update.nbytes(),
+    ) {
+        Some(b) => println!(
+            "compression pays below {:.0} Mbps on this machine\n",
+            b.bits_per_second() / 1e6
+        ),
+        None => println!("compression never pays on this machine\n"),
+    }
+
+    println!("{:<14}{:>14}{:>14}  decision", "bandwidth", "raw transfer", "with FedSZ");
+    for mbps in [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 10_000.0] {
+        let bw = Bandwidth::mbps(mbps);
+        let raw = breakeven::total_time_uncompressed(sd.nbytes(), bw);
+        let fedsz = breakeven::total_time_compressed(
+            stats.compress_seconds,
+            decompress_s,
+            update.nbytes(),
+            bw,
+        );
+        let verdict = if fedsz < raw { "compress" } else { "send raw" };
+        println!("{:>8} Mbps{raw:>13.2}s{fedsz:>13.2}s  {verdict}", mbps);
+    }
+}

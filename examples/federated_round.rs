@@ -1,0 +1,64 @@
+//! A federated-learning session with and without FedSZ.
+//!
+//! Trains the AlexNet analogue on the synthetic CIFAR-10-like task with
+//! four clients for ten FedAvg rounds, then repeats with FedSZ compressing
+//! every client update, and compares accuracy and bytes on the wire.
+//!
+//! Run: `cargo run --release --example federated_round`
+
+use fedsz_fl::FlConfig;
+use fedsz_netsim::Bandwidth;
+
+fn main() {
+    let baseline_cfg = FlConfig::default();
+    println!(
+        "federated setup: {} clients x {} samples, {} rounds, model {}",
+        baseline_cfg.n_clients,
+        baseline_cfg.samples_per_client,
+        baseline_cfg.rounds,
+        baseline_cfg.arch.name()
+    );
+
+    println!("\n--- uncompressed baseline ---");
+    let baseline = fedsz_fl::run(&baseline_cfg);
+    for r in &baseline.rounds {
+        println!(
+            "round {:>2}: accuracy {:.1}%  bytes {:>10}",
+            r.round + 1,
+            100.0 * r.accuracy,
+            r.bytes_on_wire
+        );
+    }
+
+    println!("\n--- FedSZ (SZ2 + blosc-lz @ rel 1e-2) ---");
+    let fedsz = fedsz_fl::run(&FlConfig::with_fedsz(1e-2));
+    for r in &fedsz.rounds {
+        println!(
+            "round {:>2}: accuracy {:.1}%  bytes {:>10}  (ratio {:.2}x, compress {:.0} ms)",
+            r.round + 1,
+            100.0 * r.accuracy,
+            r.bytes_on_wire,
+            r.compression_ratio(),
+            1e3 * r.compress_s_total / fedsz.n_clients as f64
+        );
+    }
+
+    let bw = Bandwidth::mbps(10.0);
+    let base_bytes: usize = baseline.rounds.iter().map(|r| r.bytes_on_wire).sum();
+    let fedsz_bytes: usize = fedsz.rounds.iter().map(|r| r.bytes_on_wire).sum();
+    println!("\nsummary:");
+    println!(
+        "  accuracy: baseline {:.1}% vs FedSZ {:.1}%",
+        100.0 * baseline.final_accuracy(),
+        100.0 * fedsz.final_accuracy()
+    );
+    println!(
+        "  bytes on the wire: {base_bytes} vs {fedsz_bytes} ({:.2}x less)",
+        base_bytes as f64 / fedsz_bytes as f64
+    );
+    println!(
+        "  transfer time at 10 Mbps: {:.1} s vs {:.1} s",
+        bw.transfer_seconds(base_bytes),
+        bw.transfer_seconds(fedsz_bytes)
+    );
+}

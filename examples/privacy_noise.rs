@@ -1,0 +1,52 @@
+//! The differential-privacy observation (§VII-D): the error FedSZ's lossy
+//! stage injects into weights is distributed much like Laplace noise.
+//!
+//! Compresses a model at several error bounds, fits a Laplace distribution
+//! to the reconstruction errors by maximum likelihood, and prints the fit
+//! quality plus a coarse textual histogram.
+//!
+//! Run: `cargo run --release --example privacy_noise`
+
+use fedsz::{
+    compress, compression_errors, decompress, error_histogram, ks_distance, laplace_fit,
+    FedSzConfig,
+};
+use fedsz_models::ModelKind;
+
+fn main() {
+    let sd = ModelKind::MobileNetV2.synthesize(10, 5);
+
+    for rel in [1e-2, 1e-3] {
+        let cfg = FedSzConfig::with_rel_bound(rel);
+        let restored = decompress(&compress(&sd, &cfg)).expect("round trip");
+        let errors = compression_errors(&sd, &restored, cfg.threshold);
+        let fit = laplace_fit(&errors);
+        let ks = ks_distance(&errors, &fit);
+
+        println!("rel bound {rel:.0e}: {} error samples", errors.len());
+        println!("  Laplace fit: mu = {:+.2e}, b = {:.2e}", fit.mu, fit.b);
+        println!("  Kolmogorov-Smirnov distance to the fit: {ks:.4}");
+
+        // Coarse ASCII histogram against the fitted density.
+        let limit = 4.0 * fit.b;
+        let hist = error_histogram(&errors, limit, 21);
+        let peak = (0..21).map(|i| hist.density(i)).fold(0.0, f64::max);
+        println!("  error histogram (| = empirical, * = Laplace fit):");
+        for i in 0..21 {
+            let x = hist.bin_center(i);
+            let emp = (hist.density(i) / peak * 40.0) as usize;
+            let lap = (fit.pdf(x) / peak * 40.0).round() as usize;
+            let mut bar: Vec<char> = std::iter::repeat_n('|', emp).collect();
+            if lap < 60 {
+                while bar.len() <= lap {
+                    bar.push(' ');
+                }
+                bar[lap] = '*';
+            }
+            println!("  {x:+.2e} {}", bar.into_iter().collect::<String>());
+        }
+        println!();
+    }
+    println!("note: Laplace-like noise is necessary but not sufficient for a formal DP");
+    println!("guarantee (it must be calibrated to sensitivity); see paper §VII-D.");
+}

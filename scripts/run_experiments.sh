@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper into results/.
+#
+# Usage: scripts/run_experiments.sh [--quick]
+#   --quick trims the FL-training experiments (fewer rounds / samples) so
+#   the full sweep finishes in minutes instead of hours on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+QUICK=${1:-}
+if [ "$QUICK" = "--quick" ]; then
+  T1_FLAGS="--rounds 6"
+  F4_FLAGS="--rounds 8"
+  F5_FLAGS="--rounds 12 --samples 112"
+  F6_FLAGS="--rounds 2"
+else
+  T1_FLAGS="--rounds 10"
+  F4_FLAGS="--rounds 10"
+  F5_FLAGS="--rounds 20 --samples 144"
+  F6_FLAGS="--rounds 3"
+fi
+
+run() {
+  local name=$1; shift
+  echo "=== $name $* ==="
+  # shellcheck disable=SC2086
+  cargo run -q -p fedsz-bench --release --bin "$name" -- "$@" > "results/$name.txt"
+  echo "    -> results/$name.txt"
+}
+
+cargo build -q --release -p fedsz-bench
+
+run table3
+run table4
+run fig2
+run fig3
+run table2
+run fig10
+run table5
+run fig7
+run fig8
+run fig9
+run ablate_threshold
+run ablate_backend
+run ablate_composition
+run ablate_partition
+run fig6 $F6_FLAGS
+run fig4 $F4_FLAGS
+run table1 $T1_FLAGS
+run ablate_schedule
+run fig5 $F5_FLAGS
+
+echo "all regenerators complete; outputs in results/"

@@ -1,0 +1,9 @@
+//! Umbrella crate: re-exports the FedSZ workspace for examples and tests.
+pub use fedsz;
+pub use fedsz_dnn as dnn;
+pub use fedsz_eblc as eblc;
+pub use fedsz_fl as fl;
+pub use fedsz_lossless as lossless;
+pub use fedsz_models as models;
+pub use fedsz_netsim as netsim;
+pub use fedsz_tensor as tensor;

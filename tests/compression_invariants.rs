@@ -1,0 +1,154 @@
+//! Cross-crate invariants of the compression stack that individual crate
+//! tests don't cover: interactions between codecs, framing, and the model
+//! zoo at realistic tensor shapes.
+
+use fedsz::{compress, compress_with_stats, decompress, FedSzConfig, LosslessKind, LossyKind};
+use fedsz_eblc::ErrorBound;
+use fedsz_models::ModelKind;
+use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
+
+fn model_like_dict(seed: u64, n_layers: usize) -> StateDict {
+    let mut rng = SplitMix64::new(seed);
+    let mut sd = StateDict::new();
+    for i in 0..n_layers {
+        let n = 512 << (i % 3);
+        let w: Vec<f32> = (0..n).map(|_| rng.normal_with(0.0, 0.04) as f32).collect();
+        sd.insert(
+            format!("layer{i}.weight"),
+            TensorKind::Weight,
+            Tensor::from_vec(w),
+        );
+        let b: Vec<f32> = (0..16).map(|_| rng.normal_with(0.0, 0.01) as f32).collect();
+        sd.insert(format!("layer{i}.bias"), TensorKind::Bias, Tensor::from_vec(b));
+    }
+    sd
+}
+
+#[test]
+fn serialized_updates_are_stable_across_identical_inputs() {
+    // Byte-identical inputs must produce byte-identical updates — FL
+    // servers may deduplicate or checksum updates.
+    let sd = model_like_dict(1, 4);
+    let cfg = FedSzConfig::default();
+    let a = compress(&sd, &cfg);
+    let b = compress(&sd, &cfg);
+    assert_eq!(a.as_bytes(), b.as_bytes());
+}
+
+#[test]
+fn double_compression_is_idempotent_in_error() {
+    // Compressing an already-round-tripped dict again must not add error:
+    // reconstructed values land exactly on quantization grid points.
+    let sd = model_like_dict(2, 3);
+    let cfg = FedSzConfig { threshold: 128, ..FedSzConfig::default() };
+    let once = decompress(&compress(&sd, &cfg)).unwrap();
+    let twice = decompress(&compress(&once, &cfg)).unwrap();
+    // The second pass quantizes against a slightly different range (the
+    // first pass can shrink each tensor's extremes by up to eb), so values
+    // may shift by up to one new bin — but never more than the first-pass
+    // error plus rounding.
+    let first_err = sd.max_abs_diff(&once);
+    let drift = once.max_abs_diff(&twice);
+    assert!(
+        drift <= first_err * 1.05 + 1e-7,
+        "drift {drift} vs first-pass error {first_err}"
+    );
+}
+
+#[test]
+fn updates_from_different_configs_are_distinguishable() {
+    let sd = model_like_dict(3, 2);
+    for lossy in LossyKind::all() {
+        let cfg = FedSzConfig { lossy, threshold: 128, ..FedSzConfig::default() };
+        let update = compress(&sd, &cfg);
+        // Self-describing: decode without knowing the config.
+        let back = decompress(&update).unwrap();
+        assert_eq!(back.len(), sd.len(), "{}", lossy.name());
+    }
+}
+
+#[test]
+fn stats_sizes_are_consistent_with_the_wire_format() {
+    let sd = model_like_dict(4, 5);
+    let cfg = FedSzConfig { threshold: 128, ..FedSzConfig::default() };
+    let (update, stats) = compress_with_stats(&sd, &cfg);
+    let payload_total: usize = stats.entries.iter().map(|e| e.compressed).sum();
+    // Frame headers cost a little beyond raw payloads, but only a little.
+    assert!(update.nbytes() > payload_total);
+    assert!(update.nbytes() < payload_total + 64 * sd.len() + 64);
+    let uncompressed_total: usize = stats.entries.iter().map(|e| e.uncompressed).sum();
+    assert_eq!(uncompressed_total, sd.nbytes());
+}
+
+#[test]
+fn alexnet_head_and_bn_free_layout_partition_correctly() {
+    // AlexNet has no batch norm: with the default threshold its lossless
+    // partition is exactly the bias vectors.
+    let sd = ModelKind::AlexNet.synthesize(10, 9);
+    let c = fedsz::census(&sd, fedsz::DEFAULT_THRESHOLD);
+    let n_biases = sd
+        .entries()
+        .iter()
+        .filter(|e| e.name.ends_with("bias"))
+        .count();
+    assert_eq!(c.lossless_entries, n_biases);
+    assert_eq!(c.lossy_entries + c.lossless_entries, sd.len());
+}
+
+#[test]
+fn mixed_codec_matrix_on_awkward_tensor_sizes() {
+    // Tensors of 1, 2, 3, prime, and power-of-two-minus-one elements, all
+    // below and above the threshold, through three codec pairs.
+    let mut rng = SplitMix64::new(5);
+    let mut sd = StateDict::new();
+    for (i, n) in [1usize, 2, 3, 127, 131, 255, 257, 8191].into_iter().enumerate() {
+        let data: Vec<f32> = (0..n).map(|_| rng.normal_with(0.0, 1.0) as f32).collect();
+        sd.insert(
+            format!("t{i}.weight"),
+            TensorKind::Weight,
+            Tensor::from_vec(data),
+        );
+    }
+    for lossy in [LossyKind::Sz2, LossyKind::Szx, LossyKind::Zfp] {
+        for lossless in [LosslessKind::BloscLz, LosslessKind::Xz] {
+            let cfg = FedSzConfig {
+                lossy,
+                lossless,
+                threshold: 128,
+                error_bound: ErrorBound::Rel(1e-3),
+            };
+            let back = decompress(&compress(&sd, &cfg)).unwrap();
+            for (a, b) in sd.entries().iter().zip(back.entries()) {
+                assert_eq!(
+                    a.tensor.numel(),
+                    b.tensor.numel(),
+                    "{}/{} on {}",
+                    lossy.name(),
+                    lossless.name(),
+                    a.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_metrics_track_the_bound_through_the_pipeline() {
+    use fedsz::ReconstructionQuality;
+    let sd = model_like_dict(6, 3);
+    for rel in [1e-1, 1e-2, 1e-3] {
+        let cfg = FedSzConfig {
+            threshold: 128,
+            ..FedSzConfig::with_rel_bound(rel)
+        };
+        let back = decompress(&compress(&sd, &cfg)).unwrap();
+        for (a, b) in sd.entries().iter().zip(back.entries()) {
+            if a.tensor.numel() < 128 {
+                continue;
+            }
+            let q = ReconstructionQuality::measure(a.tensor.data(), b.tensor.data());
+            assert!(q.nrmse <= rel, "{}: nrmse {} at rel {rel}", a.name, q.nrmse);
+            assert!(q.max_abs_error > 0.0, "{} was not lossy", a.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Failure injection across the wire format: flipped bits, truncations,
+//! hostile headers. The server must reject — or at minimum never panic on —
+//! any corrupted client update.
+
+use fedsz::{compress, decompress, CompressedUpdate, FedSzConfig};
+use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
+
+fn sample_update() -> CompressedUpdate {
+    let mut rng = SplitMix64::new(1);
+    let mut sd = StateDict::new();
+    let w: Vec<f32> = (0..5000).map(|_| rng.normal_with(0.0, 0.05) as f32).collect();
+    sd.insert("fc.weight", TensorKind::Weight, Tensor::from_vec(w));
+    let b: Vec<f32> = (0..32).map(|_| rng.normal_with(0.0, 0.01) as f32).collect();
+    sd.insert("fc.bias", TensorKind::Bias, Tensor::from_vec(b));
+    compress(&sd, &FedSzConfig { threshold: 128, ..FedSzConfig::default() })
+}
+
+#[test]
+fn every_prefix_truncation_is_handled() {
+    let bytes = sample_update().into_bytes();
+    for cut in 0..bytes.len().min(200) {
+        let update = CompressedUpdate::from_bytes(bytes[..cut].to_vec());
+        // Must not panic; error expected for any strict prefix.
+        assert!(decompress(&update).is_err(), "prefix of {cut} bytes accepted");
+    }
+    // Coarser sweep over the long tail.
+    let mut cut = 200;
+    while cut < bytes.len() {
+        let update = CompressedUpdate::from_bytes(bytes[..cut].to_vec());
+        assert!(decompress(&update).is_err(), "prefix of {cut} bytes accepted");
+        cut += 997;
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let bytes = sample_update().into_bytes();
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..300 {
+        let mut corrupted = bytes.clone();
+        let pos = rng.below(corrupted.len());
+        let flip = (rng.next_u64() % 255 + 1) as u8;
+        corrupted[pos] ^= flip;
+        // Any outcome except a panic is acceptable; most corruptions are
+        // detected, some land in lossy payload values and decode to
+        // different numbers.
+        let _ = decompress(&CompressedUpdate::from_bytes(corrupted));
+    }
+}
+
+#[test]
+fn random_garbage_is_rejected() {
+    let mut rng = SplitMix64::new(9);
+    for len in [0usize, 1, 4, 6, 100, 4096] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(
+            decompress(&CompressedUpdate::from_bytes(garbage)).is_err(),
+            "garbage of {len} bytes accepted"
+        );
+    }
+}
+
+#[test]
+fn valid_magic_with_hostile_lengths_is_rejected() {
+    // Claim an enormous entry count / name length after a valid magic.
+    let mut bytes = sample_update().into_bytes();
+    // Entry count varint sits right after the 6-byte header; overwrite it
+    // with a huge value.
+    bytes[6] = 0xFF;
+    bytes[7] = 0xFF;
+    bytes[8] = 0x7F;
+    let update = CompressedUpdate::from_bytes(bytes);
+    assert!(decompress(&update).is_err());
+}
+
+#[test]
+fn swapped_payloads_between_entries_fail_cleanly() {
+    // Rebuild the update with the lossless codec tag corrupted to a
+    // different (valid) codec: frames will not parse under the wrong codec.
+    let mut bytes = sample_update().into_bytes();
+    let original = bytes[5];
+    bytes[5] = (original + 1) % 5;
+    let _ = decompress(&CompressedUpdate::from_bytes(bytes));
+    // No panic is the contract; rejection is the expected outcome because
+    // codec magics differ.
+}

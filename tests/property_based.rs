@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) over the compression stack's core
+//! invariants: lossless codecs are bit-exact on arbitrary bytes, strict
+//! EBLCs honour their bound on arbitrary finite floats, and the FedSZ
+//! pipeline preserves arbitrary state-dict structure.
+
+use fedsz::{compress, decompress, FedSzConfig};
+use fedsz_eblc::{value_range, ErrorBound, LossyKind};
+use fedsz_lossless::LosslessKind;
+use fedsz_tensor::{StateDict, Tensor, TensorKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lossless_codecs_round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for kind in LosslessKind::all() {
+            let c = kind.compress(&data);
+            prop_assert_eq!(&kind.decompress(&c).unwrap(), &data, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn lossless_codecs_round_trip_repetitive_bytes(
+        pattern in proptest::collection::vec(any::<u8>(), 1..64),
+        repeats in 1usize..200,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * repeats).collect();
+        for kind in LosslessKind::all() {
+            let c = kind.compress(&data);
+            prop_assert_eq!(&kind.decompress(&c).unwrap(), &data, "{}", kind.name());
+            // Periodic data must actually compress once it is long enough.
+            if data.len() > 2048 {
+                prop_assert!(c.len() < data.len(), "{} failed to compress", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn strict_eblcs_honour_absolute_bounds(
+        values in proptest::collection::vec(-1000.0f32..1000.0, 1..2048),
+        eb_exp in -6i32..0,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        for kind in [LossyKind::Sz2, LossyKind::Sz3, LossyKind::Szx] {
+            let c = kind.compress(&values, ErrorBound::Abs(eb));
+            let d = kind.decompress(&c).unwrap();
+            prop_assert_eq!(d.len(), values.len());
+            for (a, b) in values.iter().zip(&d) {
+                prop_assert!(
+                    ((a - b).abs() as f64) <= eb * (1.0 + 1e-6),
+                    "{}: {} vs {} at eb {}", kind.name(), a, b, eb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_eblcs_honour_relative_bounds(
+        values in proptest::collection::vec(-5.0f32..5.0, 2..2048),
+    ) {
+        let rel = 1e-2;
+        let bound = rel * value_range(&values);
+        for kind in [LossyKind::Sz2, LossyKind::Sz3, LossyKind::Szx] {
+            let c = kind.compress(&values, ErrorBound::Rel(rel));
+            let d = kind.decompress(&c).unwrap();
+            for (a, b) in values.iter().zip(&d) {
+                prop_assert!(
+                    ((a - b).abs() as f64) <= bound * (1.0 + 1e-6) || a == b,
+                    "{}: {} vs {}", kind.name(), a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eblcs_accept_non_finite_values(
+        mut values in proptest::collection::vec(-1.0f32..1.0, 16..512),
+        nan_at in 2usize..16,
+    ) {
+        // Distinct indices: the Inf must not clobber the NaN.
+        values[nan_at] = f32::NAN;
+        values[nan_at / 2] = f32::INFINITY;
+        for kind in LossyKind::all() {
+            let c = kind.compress(&values, ErrorBound::Rel(1e-2));
+            let d = kind.decompress(&c).unwrap();
+            prop_assert_eq!(d.len(), values.len(), "{}", kind.name());
+            if kind.is_strictly_bounded() {
+                prop_assert!(d[nan_at].is_nan(), "{} lost a NaN", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fedsz_preserves_arbitrary_state_dict_structure(
+        sizes in proptest::collection::vec(1usize..3000, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = fedsz_tensor::SplitMix64::new(seed);
+        let mut sd = StateDict::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let data: Vec<f32> = (0..n).map(|_| rng.normal_with(0.0, 0.1) as f32).collect();
+            let kind = if i % 3 == 0 { TensorKind::Weight } else { TensorKind::Bias };
+            let suffix = if i % 3 == 0 { "weight" } else { "bias" };
+            sd.insert(format!("layer{i}.{suffix}"), kind, Tensor::from_vec(data));
+        }
+        let cfg = FedSzConfig { threshold: 256, ..FedSzConfig::default() };
+        let back = decompress(&compress(&sd, &cfg)).unwrap();
+        prop_assert_eq!(back.len(), sd.len());
+        for (a, b) in sd.entries().iter().zip(back.entries()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.tensor.shape(), b.tensor.shape());
+        }
+    }
+
+    #[test]
+    fn fedavg_stays_within_client_hull(
+        a in proptest::collection::vec(-10.0f32..10.0, 32),
+        b in proptest::collection::vec(-10.0f32..10.0, 32),
+        wa in 1usize..100,
+        wb in 1usize..100,
+    ) {
+        let mk = |v: &[f32]| {
+            let mut sd = StateDict::new();
+            sd.insert("w.weight", TensorKind::Weight, Tensor::from_vec(v.to_vec()));
+            sd
+        };
+        let agg = fedsz_fl::fedavg(&[(mk(&a), wa), (mk(&b), wb)]);
+        let out = agg.get("w.weight").unwrap().data();
+        for i in 0..32 {
+            let lo = a[i].min(b[i]) - 1e-4;
+            let hi = a[i].max(b[i]) + 1e-4;
+            prop_assert!(out[i] >= lo && out[i] <= hi, "index {}: {} outside [{}, {}]", i, out[i], lo, hi);
+        }
+    }
+}
