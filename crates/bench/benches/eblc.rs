@@ -56,9 +56,13 @@ fn bench_bounds(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((data.len() * 4) as u64));
     group.sample_size(10);
     for rel in [1e-2, 1e-3, 1e-4] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{rel:.0e}")), &data, |b, d| {
-            b.iter(|| LossyKind::Sz2.compress(d, ErrorBound::Rel(rel)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rel:.0e}")),
+            &data,
+            |b, d| {
+                b.iter(|| LossyKind::Sz2.compress(d, ErrorBound::Rel(rel)));
+            },
+        );
     }
     group.finish();
 }

@@ -60,7 +60,9 @@ fn bench_huffman(c: &mut Criterion) {
 
 fn bench_rangecoder(c: &mut Criterion) {
     let mut rng = SplitMix64::new(13);
-    let bits: Vec<u8> = (0..1 << 20).map(|_| u8::from(rng.next_f64() < 0.2)).collect();
+    let bits: Vec<u8> = (0..1 << 20)
+        .map(|_| u8::from(rng.next_f64() < 0.2))
+        .collect();
     let mut group = c.benchmark_group("rangecoder");
     group.throughput(Throughput::Elements(bits.len() as u64));
     group.sample_size(10);

@@ -32,6 +32,7 @@ fn run_with_schedule(schedule: BoundSchedule, rounds: usize) -> (f64, usize, f64
             })
         },
     )
+    .expect("fl run")
     .summary()
 }
 
@@ -64,12 +65,18 @@ fn main() {
     let base = fedsz_fl::run(&FlConfig {
         rounds,
         ..FlConfig::default()
-    });
+    })
+    .expect("fl run");
     let base_bytes: usize = base.rounds.iter().map(|r| r.bytes_on_wire).sum();
 
     print_header(
         "Ablation: error-bound schedules",
-        &["schedule", "final_accuracy_pct", "total_MB", "bytes_vs_uncompressed"],
+        &[
+            "schedule",
+            "final_accuracy_pct",
+            "total_MB",
+            "bytes_vs_uncompressed",
+        ],
     );
     println!(
         "uncompressed\t{:.2}\t{:.2}\t1.00x",

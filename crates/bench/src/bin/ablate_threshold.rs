@@ -24,7 +24,13 @@ fn main() {
 
     print_header(
         "Ablation: partition threshold sweep (FedSZ @ 1e-2)",
-        &["model", "threshold", "lossy_entries", "pct_lossy_values", "compression_ratio"],
+        &[
+            "model",
+            "threshold",
+            "lossy_entries",
+            "pct_lossy_values",
+            "compression_ratio",
+        ],
     );
     for model in models {
         let sd = model.synthesize(10, 55);

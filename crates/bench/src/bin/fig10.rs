@@ -25,7 +25,13 @@ fn main() {
 
     print_header(
         "Figure 10: FedSZ error distributions vs Laplace fits (MobileNetV2)",
-        &["rel_bound", "samples", "laplace_mu", "laplace_b", "ks_distance"],
+        &[
+            "rel_bound",
+            "samples",
+            "laplace_mu",
+            "laplace_b",
+            "ks_distance",
+        ],
     );
     let mut panels = Vec::new();
     for &rel in &bounds {
@@ -34,14 +40,23 @@ fn main() {
         let errors = compression_errors(&sd, &back, cfg.threshold);
         let fit = laplace_fit(&errors);
         let ks = ks_distance(&errors, &fit);
-        println!("{rel:.0e}\t{}\t{:.3e}\t{:.3e}\t{:.4}", errors.len(), fit.mu, fit.b, ks);
+        println!(
+            "{rel:.0e}\t{}\t{:.3e}\t{:.3e}\t{:.4}",
+            errors.len(),
+            fit.mu,
+            fit.b,
+            ks
+        );
         let limit = 6.0 * fit.b.max(1e-12);
         panels.push((rel, error_histogram(&errors, limit, BINS), fit, limit));
     }
 
     for (rel, hist, fit, limit) in &panels {
         println!();
-        println!("# histogram rel={rel:.0e} over [{:-.3e}, {:+.3e}]", -limit, limit);
+        println!(
+            "# histogram rel={rel:.0e} over [{:-.3e}, {:+.3e}]",
+            -limit, limit
+        );
         println!("error\tempirical_density\tlaplace_density");
         for i in 0..BINS {
             let x = hist.bin_center(i);

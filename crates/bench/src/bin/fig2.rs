@@ -31,13 +31,25 @@ fn main() {
     }
 
     let field = scidata::miranda_like(SNIPPET, 64, 2024);
-    series.push(("MIRANDA-like density slice".into(), scidata::slice_row(&field, 32)));
+    series.push((
+        "MIRANDA-like density slice".into(),
+        scidata::slice_row(&field, 32),
+    ));
     let field2 = scidata::miranda_like(SNIPPET, 64, 4048);
-    series.push(("MIRANDA-like pressure slice".into(), scidata::slice_row(&field2, 8)));
+    series.push((
+        "MIRANDA-like pressure slice".into(),
+        scidata::slice_row(&field2, 8),
+    ));
 
     print_header(
         "Figure 2: smoothness of FL parameters vs scientific data",
-        &["series", "count", "range", "total_variation", "smoothness_ratio"],
+        &[
+            "series",
+            "count",
+            "range",
+            "total_variation",
+            "smoothness_ratio",
+        ],
     );
     for (name, values) in &series {
         let s = Summary::of(values);

@@ -36,10 +36,20 @@ fn main() {
 
     println!();
     println!("# histogram densities over [-1, 1]");
-    println!("bin_center\t{}", histos.iter().map(|(n, _, _)| *n).collect::<Vec<_>>().join("\t"));
+    println!(
+        "bin_center\t{}",
+        histos
+            .iter()
+            .map(|(n, _, _)| *n)
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
     for i in 0..BINS {
         let center = histos[0].2.bin_center(i);
-        let row: Vec<String> = histos.iter().map(|(_, _, h)| format!("{:.4}", h.density(i))).collect();
+        let row: Vec<String> = histos
+            .iter()
+            .map(|(_, _, h)| format!("{:.4}", h.density(i)))
+            .collect();
         println!("{center:.3}\t{}", row.join("\t"));
     }
 }

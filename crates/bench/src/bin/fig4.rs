@@ -22,13 +22,18 @@ fn main() {
         rounds,
         ..FlConfig::default()
     };
-    let result = fedsz_fl::run(&base_cfg);
+    let result = fedsz_fl::run(&base_cfg).expect("fl run");
     curves.push((
         "uncompressed".into(),
         result.rounds.iter().map(|r| r.accuracy).collect(),
     ));
 
-    for lossy in [LossyKind::Sz2, LossyKind::Sz3, LossyKind::SzxPaper, LossyKind::Zfp] {
+    for lossy in [
+        LossyKind::Sz2,
+        LossyKind::Sz3,
+        LossyKind::SzxPaper,
+        LossyKind::Zfp,
+    ] {
         let cfg = FlConfig {
             rounds,
             compression: Some(FedSzConfig {
@@ -38,7 +43,7 @@ fn main() {
             }),
             ..FlConfig::default()
         };
-        let result = fedsz_fl::run(&cfg);
+        let result = fedsz_fl::run(&cfg).expect("fl run");
         curves.push((
             lossy.name().to_owned(),
             result.rounds.iter().map(|r| r.accuracy).collect(),
@@ -51,7 +56,11 @@ fn main() {
     );
     println!(
         "round\t{}",
-        curves.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join("\t")
+        curves
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join("\t")
     );
     for r in 0..rounds {
         let row: Vec<String> = curves

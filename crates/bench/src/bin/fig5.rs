@@ -20,7 +20,14 @@ fn main() {
 
     print_header(
         "Figure 5: accuracy vs FedSZ relative error bound",
-        &["model", "dataset", "rel_bound", "accuracy_pct", "baseline_pct", "delta_pct"],
+        &[
+            "model",
+            "dataset",
+            "rel_bound",
+            "accuracy_pct",
+            "baseline_pct",
+            "delta_pct",
+        ],
     );
 
     for arch in ModelArch::all() {
@@ -32,7 +39,7 @@ fn main() {
                 samples_per_client: samples,
                 ..FlConfig::default()
             };
-            let baseline = fedsz_fl::run(&base_cfg).final_accuracy();
+            let baseline = fedsz_fl::run(&base_cfg).expect("fl run").final_accuracy();
             println!(
                 "{}\t{}\tnone\t{:.2}\t{:.2}\t0.00",
                 arch.name(),
@@ -45,7 +52,7 @@ fn main() {
                     compression: FlConfig::with_fedsz(rel).compression,
                     ..base_cfg
                 };
-                let acc = fedsz_fl::run(&cfg).final_accuracy();
+                let acc = fedsz_fl::run(&cfg).expect("fl run").final_accuracy();
                 println!(
                     "{}\t{}\t{:.0e}\t{:.2}\t{:.2}\t{:+.2}",
                     arch.name(),

@@ -30,7 +30,7 @@ fn main() {
                 rounds,
                 ..FlConfig::with_fedsz(1e-2)
             };
-            let result = fedsz_fl::run(&cfg);
+            let result = fedsz_fl::run(&cfg).expect("fl run");
             let train = result.mean_train_s();
             let compress = result.mean_compress_s();
             let decompress = result

@@ -28,13 +28,20 @@ fn main() {
             "speedup",
         ],
     );
-    for model in [ModelKind::AlexNet, ModelKind::MobileNetV2, ModelKind::ResNet50] {
+    for model in [
+        ModelKind::AlexNet,
+        ModelKind::MobileNetV2,
+        ModelKind::ResNet50,
+    ] {
         if fast && model == ModelKind::AlexNet {
             continue;
         }
         let sd = model.synthesize(10, 17);
         let raw_s = bw.transfer_seconds(sd.nbytes());
-        println!("{}\tnone\t0.000\t0.000\t{raw_s:.2}\t{raw_s:.2}\t{raw_s:.2}\t1.00", model.name());
+        println!(
+            "{}\tnone\t0.000\t0.000\t{raw_s:.2}\t{raw_s:.2}\t{raw_s:.2}\t1.00",
+            model.name()
+        );
         for &rel in &TABLE5_BOUNDS {
             let cfg = FedSzConfig::with_rel_bound(rel);
             let (update, stats) = compress_with_stats(&sd, &cfg);

@@ -14,7 +14,9 @@ use fedsz_eblc::ErrorBound;
 use fedsz_models::ModelKind;
 use fedsz_netsim::{breakeven, Bandwidth};
 
-const BANDWIDTHS_MBPS: [f64; 9] = [1.0, 10.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 10000.0];
+const BANDWIDTHS_MBPS: [f64; 9] = [
+    1.0, 10.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 10000.0,
+];
 
 fn main() {
     let args = Args::parse();

@@ -50,7 +50,13 @@ fn main() {
 
     print_header(
         "Figure 9(a): weak scaling (1 client per process)",
-        &["procs", "round_s_fedsz", "round_s_raw", "speedup_fedsz", "speedup_raw"],
+        &[
+            "procs",
+            "round_s_fedsz",
+            "round_s_raw",
+            "speedup_fedsz",
+            "speedup_raw",
+        ],
     );
     for &p in &PROCS {
         println!(
@@ -65,7 +71,13 @@ fn main() {
     println!();
     print_header(
         &format!("Figure 9(b): strong scaling ({STRONG_CLIENTS} clients)"),
-        &["procs", "round_s_fedsz", "round_s_raw", "speedup_fedsz", "speedup_raw"],
+        &[
+            "procs",
+            "round_s_fedsz",
+            "round_s_raw",
+            "speedup_fedsz",
+            "speedup_raw",
+        ],
     );
     for &p in &PROCS {
         println!(

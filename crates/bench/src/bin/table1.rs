@@ -40,7 +40,7 @@ fn accuracy_for(arch: ModelArch, lossy: LossyKind, rel: f64, rounds: usize, samp
         }),
         ..FlConfig::default()
     };
-    fedsz_fl::run(&cfg).final_accuracy()
+    fedsz_fl::run(&cfg).expect("fl run").final_accuracy()
 }
 
 fn main() {
@@ -70,7 +70,11 @@ fn main() {
         ],
     );
 
-    for model in [ModelKind::AlexNet, ModelKind::MobileNetV2, ModelKind::ResNet50] {
+    for model in [
+        ModelKind::AlexNet,
+        ModelKind::MobileNetV2,
+        ModelKind::ResNet50,
+    ] {
         let sd = model.synthesize(10, 11);
         let values = lossy_partition_values(&sd, fedsz::DEFAULT_THRESHOLD);
         let mbytes = values.len() as f64 * 4.0 / 1e6;

@@ -25,7 +25,12 @@ fn main() {
 
     print_header(
         "Table II: lossless compressor comparison (AlexNet metadata)",
-        &["compressor", "runtime_s", "throughput_MB_s", "compression_ratio"],
+        &[
+            "compressor",
+            "runtime_s",
+            "throughput_MB_s",
+            "compression_ratio",
+        ],
     );
     for kind in LosslessKind::all() {
         // Warm up once, then take the best of `repeats` timings (the paper
@@ -38,7 +43,13 @@ fn main() {
         }
         let ratio = metadata.len() as f64 / compressed.len() as f64;
         let throughput = metadata.len() as f64 / 1e6 / best;
-        println!("{}\t{:.4}\t{:.1}\t{:.3}", kind.name(), best, throughput, ratio);
+        println!(
+            "{}\t{:.4}\t{:.1}\t{:.3}",
+            kind.name(),
+            best,
+            throughput,
+            ratio
+        );
         // Round-trip sanity.
         assert_eq!(kind.decompress(&compressed).unwrap(), metadata);
     }

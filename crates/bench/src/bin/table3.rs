@@ -47,10 +47,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "# Note: ResNet50 is the true torchvision architecture (2.56e7 trainable"
-    );
-    println!(
-        "# parameters / ~102 MB); the paper's Table III appears to overcount it."
-    );
+    println!("# Note: ResNet50 is the true torchvision architecture (2.56e7 trainable");
+    println!("# parameters / ~102 MB); the paper's Table III appears to overcount it.");
 }

@@ -19,9 +19,20 @@ fn main() {
 
     print_header(
         "Table V: FedSZ compression ratios (SZ2 + blosc-lz)",
-        &["model", "dataset", "rel_bound", "ratio", "compressed_MB", "compress_s"],
+        &[
+            "model",
+            "dataset",
+            "rel_bound",
+            "ratio",
+            "compressed_MB",
+            "compress_s",
+        ],
     );
-    for model in [ModelKind::AlexNet, ModelKind::MobileNetV2, ModelKind::ResNet50] {
+    for model in [
+        ModelKind::AlexNet,
+        ModelKind::MobileNetV2,
+        ModelKind::ResNet50,
+    ] {
         if fast && model == ModelKind::AlexNet {
             continue;
         }

@@ -29,6 +29,8 @@ pub enum CliError {
     Usage(String),
     /// Corrupt or foreign input file.
     Decode(String),
+    /// A federated run aborted (e.g. quorum not met).
+    Run(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -37,6 +39,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(m) => write!(f, "io error: {m}"),
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Decode(m) => write!(f, "decode error: {m}"),
+            CliError::Run(m) => write!(f, "run error: {m}"),
         }
     }
 }
@@ -44,7 +47,8 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 fn read_update(path: &Path) -> Result<StateDict, CliError> {
-    let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
     decompress(&CompressedUpdate::from_bytes(bytes))
         .map_err(|e| CliError::Decode(format!("{}: {e}", path.display())))
 }
@@ -102,7 +106,12 @@ pub fn parse_lossless(name: &str) -> Result<LosslessKind, CliError> {
 }
 
 /// `synth`: write a pretrained-like state dict to a `.fsd` file.
-pub fn cmd_synth(model: ModelKind, classes: usize, seed: u64, out: &Path) -> Result<String, CliError> {
+pub fn cmd_synth(
+    model: ModelKind,
+    classes: usize,
+    seed: u64,
+    out: &Path,
+) -> Result<String, CliError> {
     let sd = model.synthesize(classes, seed);
     let bytes = write_lossless(&sd, out)?;
     Ok(format!(
@@ -124,7 +133,9 @@ pub fn cmd_compress(
     threshold: usize,
 ) -> Result<String, CliError> {
     if !(rel.is_finite() && rel > 0.0) {
-        return Err(CliError::Usage(format!("relative bound must be positive, got {rel}")));
+        return Err(CliError::Usage(format!(
+            "relative bound must be positive, got {rel}"
+        )));
     }
     let sd = read_update(input)?;
     let cfg = FedSzConfig {
@@ -186,8 +197,149 @@ pub fn cmd_inspect(input: &Path, threshold: usize) -> Result<String, CliError> {
             Route::Lossless => "lossless",
         };
         let shape = format!("{:?}", e.tensor.shape());
-        let _ = writeln!(out, "{:<44} {:>12} {:>10} {route}", e.name, shape, e.tensor.numel());
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>10} {route}",
+            e.name,
+            shape,
+            e.tensor.numel()
+        );
     }
+    Ok(out)
+}
+
+/// Options for the `fl` subcommand.
+#[derive(Debug, Clone)]
+pub struct FlOpts {
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Number of clients.
+    pub clients: usize,
+    /// Training samples per client.
+    pub samples: usize,
+    /// FedSZ relative error bound; `None` = uncompressed updates.
+    pub rel: Option<f64>,
+    /// Run the threaded (one OS thread per client) transport instead of the
+    /// in-process simulation loop.
+    pub threaded: bool,
+    /// Per-round deadline in milliseconds (threaded transport only).
+    pub deadline_ms: Option<u64>,
+    /// Minimum valid updates per round before aggregating.
+    pub min_quorum: usize,
+    /// Retries for a quorum-starved round before aborting.
+    pub retries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FlOpts {
+    fn default() -> Self {
+        Self {
+            rounds: 5,
+            clients: 4,
+            samples: 96,
+            rel: Some(1e-2),
+            threaded: false,
+            deadline_ms: None,
+            min_quorum: 1,
+            retries: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// `fl`: run a federated session and print per-round accuracy, compression,
+/// and participation (delivered / rejected / late / dropped clients).
+pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
+    use fedsz_fl::{FlConfig, TransportConfig};
+
+    if opts.clients == 0 || opts.rounds == 0 {
+        return Err(CliError::Usage(
+            "need at least one client and one round".into(),
+        ));
+    }
+    if opts.min_quorum > opts.clients {
+        return Err(CliError::Usage(format!(
+            "--min-quorum {} exceeds --clients {}",
+            opts.min_quorum, opts.clients
+        )));
+    }
+    if let Some(rel) = opts.rel {
+        if !(rel.is_finite() && rel > 0.0) {
+            return Err(CliError::Usage(format!(
+                "relative bound must be positive, got {rel}"
+            )));
+        }
+    }
+    let cfg = FlConfig {
+        rounds: opts.rounds,
+        n_clients: opts.clients,
+        samples_per_client: opts.samples,
+        compression: opts.rel.map(|rel| fedsz::FedSzConfig {
+            threshold: fedsz_fl::SMALL_MODEL_THRESHOLD,
+            ..fedsz::FedSzConfig::with_rel_bound(rel)
+        }),
+        seed: opts.seed,
+        ..FlConfig::default()
+    };
+    let result = if opts.threaded {
+        let tcfg = TransportConfig {
+            round_deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+            min_quorum: opts.min_quorum,
+            max_round_retries: opts.retries,
+            ..TransportConfig::default()
+        };
+        fedsz_fl::run_threaded_with(&cfg, &tcfg)
+    } else {
+        fedsz_fl::run(&cfg)
+    }
+    .map_err(|e| CliError::Run(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} transport, {} clients x {} samples, {} rounds, {}",
+        if opts.threaded {
+            "threaded"
+        } else {
+            "in-process"
+        },
+        opts.clients,
+        opts.samples,
+        opts.rounds,
+        match opts.rel {
+            Some(rel) => format!("fedsz @ rel {rel:e}"),
+            None => "uncompressed".into(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>8} {:>9} {:>9} {:>5} {:>8}",
+        "round", "accuracy", "ratio", "delivered", "rejected", "late", "dropped"
+    );
+    for r in &result.rounds {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8.1}% {:>7.2}x {:>9} {:>9} {:>5} {:>8}",
+            r.round,
+            100.0 * r.accuracy,
+            r.compression_ratio(),
+            r.faults.delivered,
+            r.faults.rejected,
+            r.faults.late,
+            r.faults.dropped
+        );
+    }
+    let f = result.fault_summary();
+    let _ = writeln!(
+        out,
+        "final accuracy {:.1}%; participation: {} delivered, {} rejected, {} late, {} dropped",
+        100.0 * result.final_accuracy(),
+        f.delivered,
+        f.rejected,
+        f.late,
+        f.dropped
+    );
     Ok(out)
 }
 
@@ -204,7 +356,11 @@ pub fn cmd_verify(reference: &Path, update: &Path) -> Result<String, CliError> {
         )));
     }
     let mut out = String::new();
-    let _ = writeln!(out, "{:<44} {:>12} {:>12} {:>10}", "name", "max_err", "nrmse", "psnr_db");
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>10}",
+        "name", "max_err", "nrmse", "psnr_db"
+    );
     for (a, b) in original.entries().iter().zip(restored.entries()) {
         let q = fedsz::ReconstructionQuality::measure(a.tensor.data(), b.tensor.data());
         let _ = writeln!(
@@ -235,8 +391,15 @@ mod tests {
         let msg = cmd_synth(ModelKind::MobileNetV2, 10, 42, &fsd).unwrap();
         assert!(msg.contains("entries"));
 
-        let msg = cmd_compress(&fsd, &fsz, LossyKind::Sz2, LosslessKind::BloscLz, 1e-2, 2048)
-            .unwrap();
+        let msg = cmd_compress(
+            &fsd,
+            &fsz,
+            LossyKind::Sz2,
+            LosslessKind::BloscLz,
+            1e-2,
+            2048,
+        )
+        .unwrap();
         assert!(msg.contains("ratio"));
         let fsd_len = std::fs::metadata(&fsd).unwrap().len();
         let fsz_len = std::fs::metadata(&fsz).unwrap().len();
@@ -263,6 +426,52 @@ mod tests {
     }
 
     #[test]
+    fn fl_subcommand_reports_rounds_and_participation() {
+        let opts = FlOpts {
+            rounds: 2,
+            samples: 48,
+            threaded: true,
+            deadline_ms: Some(30_000),
+            ..FlOpts::default()
+        };
+        let report = cmd_fl(&opts).unwrap();
+        assert!(report.contains("threaded transport"), "{report}");
+        assert!(report.contains("delivered"), "{report}");
+        assert!(report.contains("final accuracy"), "{report}");
+        // Two round rows, one per round index.
+        assert!(
+            report.contains("\n    0 ") && report.contains("\n    1 "),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn fl_subcommand_validates_options() {
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                clients: 0,
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                min_quorum: 9,
+                clients: 4,
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                rel: Some(-0.5),
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn bad_inputs_error_cleanly() {
         let missing = tmp("missing.fsd");
         let _ = std::fs::remove_file(&missing);
@@ -275,7 +484,14 @@ mod tests {
         let fsd = tmp("m2.fsd");
         cmd_synth(ModelKind::MobileNetV2, 10, 1, &fsd).unwrap();
         assert!(matches!(
-            cmd_compress(&fsd, &tmp("x.fsz"), LossyKind::Sz2, LosslessKind::Zstd, -1.0, 10),
+            cmd_compress(
+                &fsd,
+                &tmp("x.fsz"),
+                LossyKind::Sz2,
+                LosslessKind::Zstd,
+                -1.0,
+                10
+            ),
             Err(CliError::Usage(_))
         ));
     }

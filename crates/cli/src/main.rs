@@ -7,6 +7,8 @@
 //! fedsz-tool decompress --in update.fsz --out restored.fsd
 //! fedsz-tool inspect    --in update.fsz [--threshold 2048]
 //! fedsz-tool verify     --reference model.fsd --in restored.fsd
+//! fedsz-tool fl         [--rounds N] [--clients N] [--samples N] [--rel 1e-2 | --uncompressed]
+//!                       [--threaded] [--deadline-ms D] [--min-quorum Q] [--retries R] [--seed S]
 //! ```
 
 use std::path::PathBuf;
@@ -39,6 +41,20 @@ impl Opts {
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad value for {name}: {v:?}"))),
         }
+    }
+
+    fn parsed_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("bad value for {name}: {v:?}"))),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
     }
 }
 
@@ -75,8 +91,28 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
             let input = PathBuf::from(opts.required("--in")?);
             cmd_verify(&reference, &input)
         }
+        "fl" => {
+            let defaults = FlOpts::default();
+            let rel = if opts.flag("--uncompressed") {
+                None
+            } else {
+                Some(opts.parsed_or("--rel", 1e-2)?)
+            };
+            let fl = FlOpts {
+                rounds: opts.parsed_or("--rounds", defaults.rounds)?,
+                clients: opts.parsed_or("--clients", defaults.clients)?,
+                samples: opts.parsed_or("--samples", defaults.samples)?,
+                rel,
+                threaded: opts.flag("--threaded"),
+                deadline_ms: opts.parsed_opt("--deadline-ms")?,
+                min_quorum: opts.parsed_or("--min-quorum", defaults.min_quorum)?,
+                retries: opts.parsed_or("--retries", defaults.retries)?,
+                seed: opts.parsed_or("--seed", defaults.seed)?,
+            };
+            cmd_fl(&fl)
+        }
         other => Err(CliError::Usage(format!(
-            "unknown command {other:?} (expected synth | compress | decompress | inspect | verify)"
+            "unknown command {other:?} (expected synth | compress | decompress | inspect | verify | fl)"
         ))),
     }
 }
@@ -84,7 +120,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: fedsz-tool <synth|compress|decompress|inspect|verify> [options]");
+        eprintln!("usage: fedsz-tool <synth|compress|decompress|inspect|verify|fl> [options]");
         eprintln!("see the module docs (cargo doc -p fedsz-cli) for the full grammar");
         return ExitCode::from(2);
     };

@@ -105,9 +105,8 @@ impl Qsgd {
                 let x = (v.abs() as f64 / norm) * self.levels as f64;
                 let floor = x.floor();
                 // Stochastic rounding keeps the estimate unbiased.
-                let level = (floor as u64
-                    + u64::from(rng.next_f64() < (x - floor)))
-                .min(self.levels as u64);
+                let level = (floor as u64 + u64::from(rng.next_f64() < (x - floor)))
+                    .min(self.levels as u64);
                 (v.is_sign_negative(), level)
             };
             w.write_bit(sign);
@@ -199,15 +198,10 @@ mod tests {
         let g = gradients(200_000, 4);
         let q = Qsgd::new(8, 11);
         let d = q.decompress(&q.compress(&g)).unwrap();
-        let mean_err: f64 = g
-            .iter()
-            .zip(&d)
-            .map(|(a, b)| (b - a) as f64)
-            .sum::<f64>()
-            / g.len() as f64;
-        let std: f64 = (g.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
-            / g.len() as f64)
-            .sqrt();
+        let mean_err: f64 =
+            g.iter().zip(&d).map(|(a, b)| (b - a) as f64).sum::<f64>() / g.len() as f64;
+        let std: f64 =
+            (g.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / g.len() as f64).sqrt();
         assert!(
             mean_err.abs() < 0.01 * std,
             "mean error {mean_err} vs std {std}"
@@ -224,12 +218,16 @@ mod tests {
     #[test]
     fn zero_and_non_finite_inputs_survive() {
         let g = vec![0.0f32, f32::NAN, 1.0, -1.0];
-        let d = Qsgd::new(4, 1).decompress(&Qsgd::new(4, 1).compress(&g)).unwrap();
+        let d = Qsgd::new(4, 1)
+            .decompress(&Qsgd::new(4, 1).compress(&g))
+            .unwrap();
         assert_eq!(d.len(), 4);
         assert_eq!(d[1], 0.0); // NaN flattened to level 0
         let all_zero = vec![0.0f32; 64];
         assert_eq!(
-            Qsgd::new(4, 1).decompress(&Qsgd::new(4, 1).compress(&all_zero)).unwrap(),
+            Qsgd::new(4, 1)
+                .decompress(&Qsgd::new(4, 1).compress(&all_zero))
+                .unwrap(),
             all_zero
         );
         let d = SignSgd.decompress(&SignSgd.compress(&all_zero)).unwrap();

@@ -95,7 +95,9 @@ mod tests {
         use fedsz_tensor::{StateDict, Tensor, TensorKind};
 
         let mut rng = SplitMix64::new(9);
-        let w: Vec<f32> = (0..40_000).map(|_| rng.normal_with(0.0, 0.05) as f32).collect();
+        let w: Vec<f32> = (0..40_000)
+            .map(|_| rng.normal_with(0.0, 0.05) as f32)
+            .collect();
         let mut sd = StateDict::new();
         sd.insert("l.weight", TensorKind::Weight, Tensor::from_vec(w));
 

@@ -46,18 +46,17 @@ pub mod quality;
 pub mod sparsify;
 pub mod stats;
 
+pub use adaptive::{select_compressor, BoundSchedule, OperatingPoint};
+pub use baselines::{Qsgd, SignSgd};
+pub use dp::{clipped_coordinate_sensitivity, estimate_epsilon, laplace_epsilon, DpEstimate};
 pub use fedsz_eblc::{ErrorBound, LossyKind};
 pub use fedsz_entropy::CodecError;
 pub use fedsz_lossless::LosslessKind;
 pub use partition::{census, route_of, PartitionCensus, Route, DEFAULT_THRESHOLD};
 pub use pipeline::{
-    compress, compress_with_stats, decompress, decompress_with_stats, CompressedUpdate,
-    FedSzConfig,
+    compress, compress_with_stats, decompress, decompress_with_stats, CompressedUpdate, FedSzConfig,
 };
-pub use adaptive::{select_compressor, BoundSchedule, OperatingPoint};
-pub use baselines::{Qsgd, SignSgd};
-pub use dp::{clipped_coordinate_sensitivity, estimate_epsilon, laplace_epsilon, DpEstimate};
 pub use privacy::{compression_errors, error_histogram, ks_distance, laplace_fit, LaplaceFit};
 pub use quality::ReconstructionQuality;
 pub use sparsify::{SparseUpdate, TopK};
-pub use stats::{EntryStats, UpdateStats};
+pub use stats::{EntryStats, FaultCounters, UpdateStats};

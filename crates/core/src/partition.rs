@@ -100,7 +100,11 @@ mod tests {
     #[test]
     fn census_counts() {
         let mut sd = StateDict::new();
-        sd.insert("a.weight", TensorKind::Weight, Tensor::zeros(vec![100, 100]));
+        sd.insert(
+            "a.weight",
+            TensorKind::Weight,
+            Tensor::zeros(vec![100, 100]),
+        );
         sd.insert("a.bias", TensorKind::Bias, Tensor::zeros(vec![100]));
         sd.insert("bn.weight", TensorKind::Weight, Tensor::zeros(vec![100]));
         let c = census(&sd, 2048);

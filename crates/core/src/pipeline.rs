@@ -172,9 +172,7 @@ struct FrameHeader {
 }
 
 /// Decompress an update, also returning timing statistics.
-pub fn decompress_with_stats(
-    update: &CompressedUpdate,
-) -> Result<(StateDict, f64), CodecError> {
+pub fn decompress_with_stats(update: &CompressedUpdate) -> Result<(StateDict, f64), CodecError> {
     let t0 = Instant::now();
     let data = &update.bytes;
     if data.len() < 6 || data[0..4] != MAGIC {
@@ -189,9 +187,12 @@ pub fn decompress_with_stats(
     let mut frames: Vec<(FrameHeader, &[u8])> = Vec::with_capacity(n_entries);
     for _ in 0..n_entries {
         let name_len = varint::read_usize(data, &mut pos)?;
-        let name_bytes = data
-            .get(pos..pos + name_len)
-            .ok_or(CodecError::UnexpectedEof)?;
+        // A hostile length can overflow `pos + len`; checked arithmetic turns
+        // that into a clean rejection instead of a debug-build panic.
+        let name_end = pos
+            .checked_add(name_len)
+            .ok_or(CodecError::Corrupt("entry name length overflows"))?;
+        let name_bytes = data.get(pos..name_end).ok_or(CodecError::UnexpectedEof)?;
         let name = std::str::from_utf8(name_bytes)
             .map_err(|_| CodecError::Corrupt("entry name not UTF-8"))?
             .to_owned();
@@ -213,8 +214,11 @@ pub fn decompress_with_stats(
         };
         pos += 1;
         let payload_len = varint::read_usize(data, &mut pos)?;
+        let payload_end = pos
+            .checked_add(payload_len)
+            .ok_or(CodecError::Corrupt("payload length overflows"))?;
         let payload = data
-            .get(pos..pos + payload_len)
+            .get(pos..payload_end)
             .ok_or(CodecError::UnexpectedEof)?;
         pos += payload_len;
         frames.push((
@@ -278,14 +282,26 @@ mod tests {
     fn toy_model(seed: u64) -> StateDict {
         let mut rng = SplitMix64::new(seed);
         let mut sd = StateDict::new();
-        let w: Vec<f32> = (0..40_000).map(|_| rng.normal_with(0.0, 0.05) as f32).collect();
-        sd.insert("conv.weight", TensorKind::Weight, Tensor::new(vec![100, 400], w));
-        let b: Vec<f32> = (0..100).map(|_| rng.normal_with(0.0, 0.01) as f32).collect();
+        let w: Vec<f32> = (0..40_000)
+            .map(|_| rng.normal_with(0.0, 0.05) as f32)
+            .collect();
+        sd.insert(
+            "conv.weight",
+            TensorKind::Weight,
+            Tensor::new(vec![100, 400], w),
+        );
+        let b: Vec<f32> = (0..100)
+            .map(|_| rng.normal_with(0.0, 0.01) as f32)
+            .collect();
         sd.insert("conv.bias", TensorKind::Bias, Tensor::from_vec(b));
         let g: Vec<f32> = (0..100).map(|_| rng.normal_with(1.0, 0.1) as f32).collect();
         sd.insert("bn.weight", TensorKind::Weight, Tensor::from_vec(g));
         let m: Vec<f32> = (0..100).map(|_| rng.normal_with(0.0, 0.5) as f32).collect();
-        sd.insert("bn.running_mean", TensorKind::RunningMean, Tensor::from_vec(m));
+        sd.insert(
+            "bn.running_mean",
+            TensorKind::RunningMean,
+            Tensor::from_vec(m),
+        );
         sd.insert(
             "bn.num_batches_tracked",
             TensorKind::Counter,
@@ -306,7 +322,10 @@ mod tests {
         assert_eq!(back.get("conv.bias"), sd.get("conv.bias"));
         assert_eq!(back.get("bn.weight"), sd.get("bn.weight"));
         assert_eq!(back.get("bn.running_mean"), sd.get("bn.running_mean"));
-        assert_eq!(back.get("bn.num_batches_tracked"), sd.get("bn.num_batches_tracked"));
+        assert_eq!(
+            back.get("bn.num_batches_tracked"),
+            sd.get("bn.num_batches_tracked")
+        );
         // Lossy partition respects the bound.
         let w = sd.get("conv.weight").unwrap();
         let w2 = back.get("conv.weight").unwrap();

@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn laplace_fit_recovers_parameters() {
         let mut rng = SplitMix64::new(42);
-        let samples: Vec<f32> = (0..100_000).map(|_| (0.3 + rng.laplace(0.05)) as f32).collect();
+        let samples: Vec<f32> = (0..100_000)
+            .map(|_| (0.3 + rng.laplace(0.05)) as f32)
+            .collect();
         let fit = laplace_fit(&samples);
         assert!((fit.mu - 0.3).abs() < 0.01, "mu {}", fit.mu);
         assert!((fit.b - 0.05).abs() < 0.005, "b {}", fit.b);
@@ -190,7 +192,9 @@ mod tests {
         use fedsz_tensor::{Tensor, TensorKind};
 
         let mut rng = SplitMix64::new(3);
-        let w: Vec<f32> = (0..50_000).map(|_| rng.normal_with(0.0, 0.05) as f32).collect();
+        let w: Vec<f32> = (0..50_000)
+            .map(|_| rng.normal_with(0.0, 0.05) as f32)
+            .collect();
         let mut sd = StateDict::new();
         sd.insert("layer.weight", TensorKind::Weight, Tensor::from_vec(w));
         let cfg = FedSzConfig::default();

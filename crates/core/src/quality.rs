@@ -111,7 +111,9 @@ mod tests {
     #[test]
     fn tighter_bounds_give_higher_psnr_through_sz2() {
         use fedsz_eblc::{ErrorBound, LossyKind};
-        let data: Vec<f32> = (0..20_000).map(|i| ((i as f32) * 0.01).sin() * 0.1).collect();
+        let data: Vec<f32> = (0..20_000)
+            .map(|i| ((i as f32) * 0.01).sin() * 0.1)
+            .collect();
         let psnr_of = |rel: f64| {
             let c = LossyKind::Sz2.compress(&data, ErrorBound::Rel(rel));
             let d = LossyKind::Sz2.decompress(&c).unwrap();

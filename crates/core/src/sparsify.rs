@@ -133,7 +133,8 @@ impl SparseUpdate {
         let dense_len = varint::read_usize(data, &mut pos)?;
         let count = varint::read_usize(data, &mut pos)?;
         let lossy = LossyKind::from_tag(*data.get(pos).ok_or(CodecError::UnexpectedEof)?)?;
-        let lossless = LosslessKind::from_tag(*data.get(pos + 1).ok_or(CodecError::UnexpectedEof)?)?;
+        let lossless =
+            LosslessKind::from_tag(*data.get(pos + 1).ok_or(CodecError::UnexpectedEof)?)?;
         pos += 2;
         let idx_len = varint::read_usize(data, &mut pos)?;
         let idx_payload = data
@@ -203,11 +204,8 @@ mod tests {
     fn composed_encoding_round_trips_within_bound() {
         let values = gradients(50_000, 3);
         let sparse = TopK::new(0.1).sparsify(&values);
-        let bytes = sparse.to_composed_bytes(
-            LossyKind::Sz2,
-            ErrorBound::Rel(1e-2),
-            LosslessKind::Zstd,
-        );
+        let bytes =
+            sparse.to_composed_bytes(LossyKind::Sz2, ErrorBound::Rel(1e-2), LosslessKind::Zstd);
         let back = SparseUpdate::from_composed_bytes(&bytes).unwrap();
         assert_eq!(back.indices, sparse.indices);
         assert_eq!(back.dense_len, sparse.dense_len);

@@ -26,6 +26,52 @@ impl EntryStats {
     }
 }
 
+/// Per-round client-participation outcome under partial participation.
+///
+/// A fault-tolerant server aggregates over whichever subset of clients
+/// delivered a valid update in time; these counters make the degradation
+/// observable round by round. `delivered + rejected + late` equals the
+/// number of clients the round expected an answer from, and `dropped`
+/// counts clients excluded up front because their channel was already gone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Clients whose valid update made it into the aggregate.
+    pub delivered: usize,
+    /// Clients whose update arrived but failed validation (corrupt payload).
+    pub rejected: usize,
+    /// Clients that missed the round deadline (stragglers and clients that
+    /// died mid-round without closing their channel in time).
+    pub late: usize,
+    /// Clients excluded before the round started because they are known
+    /// dead (their downlink channel is disconnected).
+    pub dropped: usize,
+}
+
+impl FaultCounters {
+    /// Counters for a fully healthy round of `n` clients.
+    pub fn full(n: usize) -> Self {
+        Self {
+            delivered: n,
+            ..Self::default()
+        }
+    }
+
+    /// Clients that did not contribute to the aggregate this round.
+    pub fn failed(&self) -> usize {
+        self.rejected + self.late + self.dropped
+    }
+
+    /// Clients the round was configured with (participants plus exclusions).
+    pub fn population(&self) -> usize {
+        self.delivered + self.failed()
+    }
+
+    /// `true` when every configured client delivered a valid update.
+    pub fn is_clean(&self) -> bool {
+        self.failed() == 0
+    }
+}
+
 /// Whole-update compression outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateStats {

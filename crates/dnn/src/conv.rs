@@ -51,7 +51,9 @@ impl Conv2d {
         let fan_in = icg * k * k;
         let std = (2.0 / fan_in as f64).sqrt();
         let wlen = out_ch * icg * k * k;
-        let weight: Vec<f32> = (0..wlen).map(|_| rng.normal_with(0.0, std) as f32).collect();
+        let weight: Vec<f32> = (0..wlen)
+            .map(|_| rng.normal_with(0.0, std) as f32)
+            .collect();
         Self {
             in_ch,
             out_ch,
@@ -79,7 +81,16 @@ impl Conv2d {
 
     /// Fill `col` (`icg*k*k × oh*ow`) from one sample's channels of a group.
     #[allow(clippy::too_many_arguments)]
-    fn im2col(&self, x: &[f32], h: usize, w: usize, group: usize, oh: usize, ow: usize, col: &mut [f32]) {
+    fn im2col(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        group: usize,
+        oh: usize,
+        ow: usize,
+        col: &mut [f32],
+    ) {
         let icg = self.in_ch / self.groups;
         let ch0 = group * icg;
         let l = oh * ow;
@@ -110,7 +121,16 @@ impl Conv2d {
 
     /// Scatter-add `col` gradients back into one sample's input gradient.
     #[allow(clippy::too_many_arguments)]
-    fn col2im(&self, col: &[f32], h: usize, w: usize, group: usize, oh: usize, ow: usize, gx: &mut [f32]) {
+    fn col2im(
+        &self,
+        col: &[f32],
+        h: usize,
+        w: usize,
+        group: usize,
+        oh: usize,
+        ow: usize,
+        gx: &mut [f32],
+    ) {
         let icg = self.in_ch / self.groups;
         let ch0 = group * icg;
         let l = oh * ow;
@@ -210,7 +230,14 @@ impl Layer for Conv2d {
                     self.im2col(xs, x.h, x.w, g, oh, ow, &mut col);
                     let gg = &gs[g * opg * l..(g + 1) * opg * l];
                     // dW_g += G_g (opg x L) * col^T (L x kvol)
-                    mm_nt(gg, &col, opg, l, kvol, &mut gw[g * opg * kvol..(g + 1) * opg * kvol]);
+                    mm_nt(
+                        gg,
+                        &col,
+                        opg,
+                        l,
+                        kvol,
+                        &mut gw[g * opg * kvol..(g + 1) * opg * kvol],
+                    );
                     // dcol = W_g^T (kvol x opg) * G_g (opg x L)
                     gcol.fill(0.0);
                     let wg = &self.weight[g * opg * kvol..(g + 1) * opg * kvol];
@@ -274,7 +301,11 @@ impl Layer for Conv2d {
         let w = sd
             .get(&format!("{prefix}.weight"))
             .unwrap_or_else(|| panic!("missing {prefix}.weight"));
-        assert_eq!(w.numel(), self.weight.len(), "{prefix}.weight shape mismatch");
+        assert_eq!(
+            w.numel(),
+            self.weight.len(),
+            "{prefix}.weight shape mismatch"
+        );
         self.weight.copy_from_slice(w.data());
         if let Some(bias) = &mut self.bias {
             let b = sd
@@ -311,7 +342,8 @@ mod tests {
     #[test]
     fn known_3x3_convolution() {
         let mut conv = Conv2d::new(1, 1, 3, 1, 0, 1, false, &mut rng());
-        conv.weight.copy_from_slice(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        conv.weight
+            .copy_from_slice(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
         let x = Act::new((0..25).map(|i| i as f32).collect(), 1, 1, 5, 5);
         let y = conv.forward(x, false);
         // Center-tap kernel picks the middle of each 3x3 window.

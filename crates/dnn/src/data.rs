@@ -50,7 +50,10 @@ impl Dataset {
             data.extend_from_slice(&self.images[i * len..(i + 1) * len]);
             labels.push(self.labels[i]);
         }
-        (Act::new(data, indices.len(), self.c, self.h, self.w), labels)
+        (
+            Act::new(data, indices.len(), self.c, self.h, self.w),
+            labels,
+        )
     }
 
     /// Extract a subset by index (used for client sharding).
@@ -134,7 +137,13 @@ impl DatasetKind {
 }
 
 /// Smooth per-class prototype images from superposed low-frequency modes.
-fn make_prototypes(rng: &mut SplitMix64, classes: usize, c: usize, h: usize, w: usize) -> Vec<Vec<f32>> {
+fn make_prototypes(
+    rng: &mut SplitMix64,
+    classes: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Vec<Vec<f32>> {
     (0..classes)
         .map(|_| {
             let mut img = vec![0.0f32; c * h * w];
@@ -246,7 +255,10 @@ mod tests {
         let (act, labels) = ds.batch(&[3, 7]);
         assert_eq!((act.n, act.c, act.h, act.w), (2, 3, 32, 32));
         assert_eq!(labels, [ds.labels[3], ds.labels[7]]);
-        assert_eq!(act.sample(1), &ds.images[7 * ds.image_len()..8 * ds.image_len()]);
+        assert_eq!(
+            act.sample(1),
+            &ds.images[7 * ds.image_len()..8 * ds.image_len()]
+        );
     }
 
     #[test]
@@ -270,7 +282,10 @@ mod tests {
         for i in 0..train.n {
             let l = train.labels[i];
             counts[l] += 1;
-            for (m, &v) in means[l].iter_mut().zip(&train.images[i * len..(i + 1) * len]) {
+            for (m, &v) in means[l]
+                .iter_mut()
+                .zip(&train.images[i * len..(i + 1) * len])
+            {
                 *m += v as f64;
             }
         }
@@ -284,8 +299,16 @@ mod tests {
             let img = &test.images[i * len..(i + 1) * len];
             let best = (0..10)
                 .min_by(|&a, &b| {
-                    let da: f64 = means[a].iter().zip(img).map(|(m, &v)| (m - v as f64).powi(2)).sum();
-                    let db: f64 = means[b].iter().zip(img).map(|(m, &v)| (m - v as f64).powi(2)).sum();
+                    let da: f64 = means[a]
+                        .iter()
+                        .zip(img)
+                        .map(|(m, &v)| (m - v as f64).powi(2))
+                        .sum();
+                    let db: f64 = means[b]
+                        .iter()
+                        .zip(img)
+                        .map(|(m, &v)| (m - v as f64).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

@@ -61,7 +61,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad: Act) -> Act {
-        let x = self.cached_x.take().expect("dense backward without forward");
+        let x = self
+            .cached_x
+            .take()
+            .expect("dense backward without forward");
         let n = x.n;
         assert_eq!(grad.sample_len(), self.out_f);
         // dW (out x in) = G^T (out x n) * X (n x in)
@@ -112,7 +115,11 @@ impl Layer for Dense {
         let w = sd
             .get(&format!("{prefix}.weight"))
             .unwrap_or_else(|| panic!("missing {prefix}.weight"));
-        assert_eq!(w.numel(), self.weight.len(), "{prefix}.weight shape mismatch");
+        assert_eq!(
+            w.numel(),
+            self.weight.len(),
+            "{prefix}.weight shape mismatch"
+        );
         self.weight.copy_from_slice(w.data());
         let b = sd
             .get(&format!("{prefix}.bias"))
@@ -144,7 +151,13 @@ mod tests {
     fn gradient_check() {
         let mut d = Dense::new(5, 4, &mut SplitMix64::new(3));
         let mut r = SplitMix64::new(17);
-        let x = Act::new((0..3 * 5).map(|_| r.uniform(-1.0, 1.0)).collect(), 3, 5, 1, 1);
+        let x = Act::new(
+            (0..3 * 5).map(|_| r.uniform(-1.0, 1.0)).collect(),
+            3,
+            5,
+            1,
+            1,
+        );
         let y = d.forward(x.clone(), true);
         let gx = d.backward(y); // dL/dy = y for L = sum(y^2)/2
 

@@ -184,7 +184,11 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, mut grad: Act) -> Act {
-        assert_eq!(grad.data.len(), self.mask.len(), "ReLU backward without forward");
+        assert_eq!(
+            grad.data.len(),
+            self.mask.len(),
+            "ReLU backward without forward"
+        );
         for (g, &m) in grad.data.iter_mut().zip(&self.mask) {
             if !m {
                 *g = 0.0;

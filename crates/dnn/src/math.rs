@@ -70,7 +70,7 @@ mod tests {
 
     const A: [f32; 6] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
     const B: [f32; 6] = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // 3x2
-    // A(2x3) * B(3x2) = [[58, 64], [139, 154]]
+                                                           // A(2x3) * B(3x2) = [[58, 64], [139, 154]]
     const AB: [f32; 4] = [58.0, 64.0, 139.0, 154.0];
 
     #[test]

@@ -31,7 +31,11 @@ pub enum ModelArch {
 impl ModelArch {
     /// All analogues, matching the paper's model set.
     pub fn all() -> [ModelArch; 3] {
-        [ModelArch::AlexNetS, ModelArch::MobileNetV2S, ModelArch::ResNetS]
+        [
+            ModelArch::AlexNetS,
+            ModelArch::MobileNetV2S,
+            ModelArch::ResNetS,
+        ]
     }
 
     /// Display name (the full architecture each stands in for).
@@ -59,13 +63,22 @@ pub fn alexnet_s(in_ch: usize, hw: usize, classes: usize, seed: u64) -> Network 
     let s = hw / 2 / 2 / 2; // three 2x2 pools
     assert!(s >= 1, "input {hw} too small for AlexNetS");
     let root = Sequential::new()
-        .add("features.0", Conv2d::new(in_ch, 16, 3, 1, 1, 1, true, &mut rng))
+        .add(
+            "features.0",
+            Conv2d::new(in_ch, 16, 3, 1, 1, 1, true, &mut rng),
+        )
         .add("relu0", ReLU::new())
         .add("pool0", MaxPool2d::new(2))
-        .add("features.3", Conv2d::new(16, 32, 3, 1, 1, 1, true, &mut rng))
+        .add(
+            "features.3",
+            Conv2d::new(16, 32, 3, 1, 1, 1, true, &mut rng),
+        )
         .add("relu1", ReLU::new())
         .add("pool1", MaxPool2d::new(2))
-        .add("features.6", Conv2d::new(32, 64, 3, 1, 1, 1, true, &mut rng))
+        .add(
+            "features.6",
+            Conv2d::new(32, 64, 3, 1, 1, 1, true, &mut rng),
+        )
         .add("relu2", ReLU::new())
         .add("pool2", MaxPool2d::new(2))
         .add("flatten", Flatten::new())
@@ -85,7 +98,10 @@ fn inverted_residual(
 ) -> Sequential {
     let hidden = in_ch * expand;
     Sequential::new()
-        .add("conv.0.0", Conv2d::new(in_ch, hidden, 1, 1, 0, 1, false, rng))
+        .add(
+            "conv.0.0",
+            Conv2d::new(in_ch, hidden, 1, 1, 0, 1, false, rng),
+        )
         .add("conv.0.1", BatchNorm2d::new(hidden))
         .add("relu0", ReLU::new())
         .add(
@@ -94,7 +110,10 @@ fn inverted_residual(
         )
         .add("conv.1.1", BatchNorm2d::new(hidden))
         .add("relu1", ReLU::new())
-        .add("conv.2", Conv2d::new(hidden, out_ch, 1, 1, 0, 1, false, rng))
+        .add(
+            "conv.2",
+            Conv2d::new(hidden, out_ch, 1, 1, 0, 1, false, rng),
+        )
         .add("conv.3", BatchNorm2d::new(out_ch))
 }
 
@@ -102,7 +121,10 @@ fn inverted_residual(
 pub fn mobilenet_v2_s(in_ch: usize, classes: usize, seed: u64) -> Network {
     let mut rng = SplitMix64::new(seed);
     let root = Sequential::new()
-        .add("features.0.0", Conv2d::new(in_ch, 16, 3, 1, 1, 1, false, &mut rng))
+        .add(
+            "features.0.0",
+            Conv2d::new(in_ch, 16, 3, 1, 1, 1, false, &mut rng),
+        )
         .add("features.0.1", BatchNorm2d::new(16))
         .add("relu0", ReLU::new())
         // Shape-preserving block: residual.
@@ -117,7 +139,10 @@ pub fn mobilenet_v2_s(in_ch: usize, classes: usize, seed: u64) -> Network {
             Residual::new(inverted_residual(32, 32, 2, 1, &mut rng)),
         )
         .add("features.4", inverted_residual(32, 64, 2, 2, &mut rng))
-        .add("features.18.0", Conv2d::new(64, 128, 1, 1, 0, 1, false, &mut rng))
+        .add(
+            "features.18.0",
+            Conv2d::new(64, 128, 1, 1, 0, 1, false, &mut rng),
+        )
         .add("features.18.1", BatchNorm2d::new(128))
         .add("relu_head", ReLU::new())
         .add("gap", GlobalAvgPool::new())

@@ -47,13 +47,7 @@ impl Network {
     }
 
     /// One SGD step on a batch; returns the batch loss.
-    pub fn train_batch(
-        &mut self,
-        images: Act,
-        labels: &[usize],
-        lr: f32,
-        momentum: f32,
-    ) -> f64 {
+    pub fn train_batch(&mut self, images: Act, labels: &[usize], lr: f32, momentum: f32) -> f64 {
         let logits = self.root.forward(images, true);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
         self.root.backward(grad);

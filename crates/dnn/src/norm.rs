@@ -103,7 +103,11 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, mut grad: Act) -> Act {
-        assert_eq!(grad.data.len(), self.x_hat.len(), "bn backward without forward");
+        assert_eq!(
+            grad.data.len(),
+            self.x_hat.len(),
+            "bn backward without forward"
+        );
         let m = (grad.n * grad.h * grad.w) as f64;
         for c in 0..self.ch {
             let mut dbeta = 0.0f64;
@@ -125,7 +129,12 @@ impl Layer for BatchNorm2d {
     }
 
     fn sgd_step(&mut self, lr: f32, momentum: f32) {
-        for ((w, v), &g) in self.gamma.iter_mut().zip(&mut self.v_gamma).zip(&self.g_gamma) {
+        for ((w, v), &g) in self
+            .gamma
+            .iter_mut()
+            .zip(&mut self.v_gamma)
+            .zip(&self.g_gamma)
+        {
             *v = momentum * *v - lr * g;
             *w += *v;
         }
@@ -170,7 +179,8 @@ impl Layer for BatchNorm2d {
         };
         self.gamma.copy_from_slice(get("weight").data());
         self.beta.copy_from_slice(get("bias").data());
-        self.running_mean.copy_from_slice(get("running_mean").data());
+        self.running_mean
+            .copy_from_slice(get("running_mean").data());
         self.running_var.copy_from_slice(get("running_var").data());
         // Running variance must stay positive even after lossy aggregation.
         for v in &mut self.running_var {
@@ -198,7 +208,9 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         let mut r = SplitMix64::new(4);
         let x = Act::new(
-            (0..2 * 2 * 8 * 8).map(|_| r.normal_with(3.0, 2.0) as f32).collect(),
+            (0..2 * 2 * 8 * 8)
+                .map(|_| r.normal_with(3.0, 2.0) as f32)
+                .collect(),
             2,
             2,
             8,
@@ -207,7 +219,9 @@ mod tests {
         let y = bn.forward(x, true);
         // Per-channel mean ~0, var ~1.
         for c in 0..2 {
-            let vals: Vec<f32> = BatchNorm2d::indices(y.n, y.c, y.h * y.w, c).map(|i| y.data[i]).collect();
+            let vals: Vec<f32> = BatchNorm2d::indices(y.n, y.c, y.h * y.w, c)
+                .map(|i| y.data[i])
+                .collect();
             let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
             let var: f64 =
                 vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64;
@@ -222,7 +236,9 @@ mod tests {
         let mut r = SplitMix64::new(5);
         for _ in 0..200 {
             let x = Act::new(
-                (0..4 * 16).map(|_| r.normal_with(2.0, 0.5) as f32).collect(),
+                (0..4 * 16)
+                    .map(|_| r.normal_with(2.0, 0.5) as f32)
+                    .collect(),
                 4,
                 1,
                 4,
@@ -230,8 +246,16 @@ mod tests {
             );
             bn.forward(x, true);
         }
-        assert!((bn.running_mean[0] - 2.0).abs() < 0.1, "{}", bn.running_mean[0]);
-        assert!((bn.running_var[0] - 0.25).abs() < 0.08, "{}", bn.running_var[0]);
+        assert!(
+            (bn.running_mean[0] - 2.0).abs() < 0.1,
+            "{}",
+            bn.running_mean[0]
+        );
+        assert!(
+            (bn.running_var[0] - 0.25).abs() < 0.08,
+            "{}",
+            bn.running_var[0]
+        );
         assert_eq!(bn.batches_tracked, 200.0);
     }
 

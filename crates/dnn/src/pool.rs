@@ -61,7 +61,11 @@ impl Layer for MaxPool2d {
 
     fn backward(&mut self, grad: Act) -> Act {
         let (n, c, h, w) = self.in_dims;
-        assert_eq!(grad.data.len(), self.argmax.len(), "pool backward without forward");
+        assert_eq!(
+            grad.data.len(),
+            self.argmax.len(),
+            "pool backward without forward"
+        );
         let mut gx = Act::zeros(n, c, h, w);
         for (&idx, &g) in self.argmax.iter().zip(&grad.data) {
             gx.data[idx as usize] += g;

@@ -92,7 +92,12 @@ impl LossyKind {
     /// stands in for the SZx column because it is the variant whose observed
     /// behaviour the table reports; [`LossyKind::Szx`] is the faithful one.
     pub fn table1() -> [LossyKind; 4] {
-        [LossyKind::Sz2, LossyKind::Sz3, LossyKind::SzxPaper, LossyKind::Zfp]
+        [
+            LossyKind::Sz2,
+            LossyKind::Sz3,
+            LossyKind::SzxPaper,
+            LossyKind::Zfp,
+        ]
     }
 
     /// Every variant.
@@ -185,8 +190,7 @@ mod tests {
             .map(|_| {
                 let u: f64 = next();
                 let v: f64 = next();
-                let g = (-2.0 * u.max(1e-12).ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * v).cos();
+                let g = (-2.0 * u.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
                 (g * 0.05) as f32
             })
             .collect()

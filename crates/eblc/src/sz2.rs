@@ -224,9 +224,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
 fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
     let mut pos = 0usize;
     let n = varint::read_usize(payload, &mut pos)?;
-    let eb_bytes = payload
-        .get(pos..pos + 8)
-        .ok_or(CodecError::UnexpectedEof)?;
+    let eb_bytes = payload.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
     let abs_eb = f64::from_le_bytes(eb_bytes.try_into().unwrap());
     pos += 8;
     if !(abs_eb.is_finite() && abs_eb > 0.0) {
@@ -243,15 +241,12 @@ fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
         .get(pos..pos + bitmap_len)
         .ok_or(CodecError::UnexpectedEof)?;
     pos += bitmap_len;
-    let is_regression =
-        |i: usize| -> bool { bitmap[i / 8] & (1 << (i % 8)) != 0 };
+    let is_regression = |i: usize| -> bool { bitmap[i / 8] & (1 << (i % 8)) != 0 };
 
     let n_regression = (0..n_blocks).filter(|&i| is_regression(i)).count();
     let mut coeffs = Vec::with_capacity(n_regression);
     for _ in 0..n_regression {
-        let chunk = payload
-            .get(pos..pos + 8)
-            .ok_or(CodecError::UnexpectedEof)?;
+        let chunk = payload.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
         let a = f32::from_le_bytes(chunk[0..4].try_into().unwrap());
         let b = f32::from_le_bytes(chunk[4..8].try_into().unwrap());
         coeffs.push((a, b));
@@ -287,7 +282,9 @@ fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
             for (i, &code) in block_codes.iter().enumerate() {
                 let pred = a * i as f32 + b;
                 let v = if code == 0 {
-                    *lit_iter.next().ok_or(CodecError::Corrupt("missing literal"))?
+                    *lit_iter
+                        .next()
+                        .ok_or(CodecError::Corrupt("missing literal"))?
                 } else {
                     q.reconstruct(pred, code)
                 };
@@ -297,7 +294,9 @@ fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
             let mut prev = 0.0f32;
             for &code in block_codes {
                 let v = if code == 0 {
-                    *lit_iter.next().ok_or(CodecError::Corrupt("missing literal"))?
+                    *lit_iter
+                        .next()
+                        .ok_or(CodecError::Corrupt("missing literal"))?
                 } else {
                     q.reconstruct(prev, code)
                 };

@@ -207,14 +207,18 @@ fn decode_chunk(
     let mut rec = vec![0.0f32; m];
     let mut ci = 0usize;
     let next_code = |ci: &mut usize| -> Result<u32, CodecError> {
-        let c = *codes.get(*ci).ok_or(CodecError::Corrupt("SZ3 code underrun"))?;
+        let c = *codes
+            .get(*ci)
+            .ok_or(CodecError::Corrupt("SZ3 code underrun"))?;
         *ci += 1;
         Ok(c)
     };
 
     let code = next_code(&mut ci)?;
     rec[0] = if code == 0 {
-        *lit_iter.next().ok_or(CodecError::Corrupt("missing literal"))?
+        *lit_iter
+            .next()
+            .ok_or(CodecError::Corrupt("missing literal"))?
     } else {
         q.reconstruct(0.0, code)
     };
@@ -230,7 +234,9 @@ fn decode_chunk(
             };
             let code = next_code(&mut ci)?;
             rec[i] = if code == 0 {
-                *lit_iter.next().ok_or(CodecError::Corrupt("missing literal"))?
+                *lit_iter
+                    .next()
+                    .ok_or(CodecError::Corrupt("missing literal"))?
             } else {
                 q.reconstruct(pred, code)
             };

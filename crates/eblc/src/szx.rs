@@ -157,7 +157,11 @@ fn compress_paper(data: &[f32], abs_eb: f64) -> Vec<u8> {
                 max = max.max(v);
             }
         }
-        let range = if min <= max { (max - min) as f64 } else { f64::INFINITY };
+        let range = if min <= max {
+            (max - min) as f64
+        } else {
+            f64::INFINITY
+        };
         if range <= bin {
             w.write_bit(true);
             let mid = min + (max - min) * 0.5;
@@ -282,7 +286,10 @@ mod tests {
             assert_eq!(d.len(), data.len());
             let abs = rel * range;
             for (a, b) in data.iter().zip(&d) {
-                assert!(((a - b).abs() as f64) <= abs * (1.0 + 1e-6), "{a} vs {b} @ rel {rel}");
+                assert!(
+                    ((a - b).abs() as f64) <= abs * (1.0 + 1e-6),
+                    "{a} vs {b} @ rel {rel}"
+                );
             }
         }
     }
@@ -317,7 +324,9 @@ mod tests {
 
     #[test]
     fn paper_mode_error_is_large() {
-        let data: Vec<f32> = (0..5000).map(|i| ((i as f32) * 0.11).sin() * 0.05).collect();
+        let data: Vec<f32> = (0..5000)
+            .map(|i| ((i as f32) * 0.11).sin() * 0.05)
+            .collect();
         let c = compress(&data, ErrorBound::Rel(1e-2), SzxMode::Paper);
         let d = decompress(&c).unwrap();
         let range = value_range(&data);
@@ -336,7 +345,9 @@ mod tests {
 
     #[test]
     fn paper_mode_ratio_independent_of_bound() {
-        let data: Vec<f32> = (0..50_000).map(|i| ((i as f32) * 1.7).sin() * 0.3).collect();
+        let data: Vec<f32> = (0..50_000)
+            .map(|i| ((i as f32) * 1.7).sin() * 0.3)
+            .collect();
         let sizes: Vec<usize> = [1e-2, 1e-3, 1e-4]
             .iter()
             .map(|&rel| compress(&data, ErrorBound::Rel(rel), SzxMode::Paper).len())
@@ -349,7 +360,9 @@ mod tests {
     fn strict_is_much_smaller_on_tight_ranges() {
         // Narrow-range data with a loose bound: k is tiny, so packed blocks
         // beat a byte per value.
-        let data: Vec<f32> = (0..10_000).map(|i| 0.5 + ((i as f32) * 0.01).sin() * 0.001).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| 0.5 + ((i as f32) * 0.01).sin() * 0.001)
+            .collect();
         let strict = compress(&data, ErrorBound::Abs(0.0005), SzxMode::Strict);
         assert!(strict.len() < data.len(), "{}", strict.len()); // < 1 byte/value
         let d = decompress(&strict).unwrap();

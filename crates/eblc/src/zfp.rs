@@ -153,10 +153,9 @@ fn encode_block(vals: &[f32; 4], planes: u32, w: &mut BitWriter) {
 
     let bottom = (TOP_PLANE - planes as i32 + 1).max(0);
     for plane in (bottom..=TOP_PLANE).rev() {
-        let bits4 = u
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &x)| acc | ((((x >> plane) & 1) as u64) << i));
+        let bits4 = u.iter().enumerate().fold(0u64, |acc, (i, &x)| {
+            acc | ((((x >> plane) & 1) as u64) << i)
+        });
         if bits4 == 0 {
             w.write_bit(false);
         } else {
@@ -353,7 +352,9 @@ mod tests {
 
     #[test]
     fn error_tracks_precision() {
-        let data: Vec<f32> = (0..10_000).map(|i| ((i as f32) * 0.013).sin() * 0.4).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| ((i as f32) * 0.013).sin() * 0.4)
+            .collect();
         // Fixed-precision mode: no hard guarantee, but the error must track
         // the requested relative bound within a small constant factor.
         for rel in [1e-2, 1e-3, 1e-4] {
@@ -364,7 +365,9 @@ mod tests {
 
     #[test]
     fn tighter_precision_costs_more() {
-        let data: Vec<f32> = (0..50_000).map(|i| ((i as f32) * 0.37).sin() * 0.2).collect();
+        let data: Vec<f32> = (0..50_000)
+            .map(|i| ((i as f32) * 0.37).sin() * 0.2)
+            .collect();
         let a = compress(&data, ErrorBound::Rel(1e-2)).len();
         let b = compress(&data, ErrorBound::Rel(1e-3)).len();
         let c = compress(&data, ErrorBound::Rel(1e-4)).len();

@@ -82,7 +82,9 @@ fn code_lengths_once(freqs: &[u64]) -> Vec<u8> {
 
 /// Assign canonical codes given lengths. Returns `(code, len)` per symbol.
 fn canonical_codes(lens: &[u8]) -> Vec<(u32, u8)> {
-    let mut order: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
+    let mut order: Vec<u32> = (0..lens.len() as u32)
+        .filter(|&s| lens[s as usize] > 0)
+        .collect();
     order.sort_unstable_by_key(|&s| (lens[s as usize], s));
     let mut codes = vec![(0u32, 0u8); lens.len()];
     let mut code: u32 = 0;
@@ -140,7 +142,10 @@ impl HuffmanEncoder {
     #[inline]
     pub fn encode(&self, w: &mut BitWriter, sym: u32) {
         let (code, len) = self.codes[sym as usize];
-        debug_assert!(len > 0, "encoding symbol {sym} absent from the frequency table");
+        debug_assert!(
+            len > 0,
+            "encoding symbol {sym} absent from the frequency table"
+        );
         w.write_bits(code as u64, len as u32);
     }
 
@@ -209,7 +214,9 @@ impl HuffmanDecoder {
 
     /// Build directly from code lengths.
     pub fn from_lengths(lens: &[u8]) -> Result<Self, CodecError> {
-        let mut syms: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
+        let mut syms: Vec<u32> = (0..lens.len() as u32)
+            .filter(|&s| lens[s as usize] > 0)
+            .collect();
         syms.sort_unstable_by_key(|&s| (lens[s as usize], s));
         let mut first_code = [0u32; MAX_LEN as usize + 1];
         let mut offset = [0u32; MAX_LEN as usize + 1];
@@ -371,10 +378,7 @@ mod tests {
         for &s in &syms {
             enc.encode(&mut w, s);
         }
-        let actual_bits = syms
-            .iter()
-            .map(|&s| enc.len_of(s) as u64)
-            .sum::<u64>();
+        let actual_bits = syms.iter().map(|&s| enc.len_of(s) as u64).sum::<u64>();
         assert_eq!(enc.payload_bits(&freqs), actual_bits);
         assert_eq!(w.finish().len(), actual_bits.div_ceil(8) as usize);
     }

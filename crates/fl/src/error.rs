@@ -1,0 +1,98 @@
+//! Typed failures of a federated run — the replacement for the seed's
+//! server-side panics on corrupt, dead, or straggling clients.
+
+use fedsz::CodecError;
+
+/// Why a federated run could not complete.
+///
+/// Individual client failures (a corrupt update, a missed deadline, a dead
+/// channel) are *not* errors: the server aggregates over the surviving
+/// quorum and records them in
+/// [`RoundMetrics::faults`](crate::session::RoundMetrics). An `FlError` is
+/// returned only when a round cannot legally complete at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlError {
+    /// Fewer valid updates than the configured minimum quorum arrived, even
+    /// after the configured number of retries.
+    QuorumNotMet {
+        /// Round that starved.
+        round: usize,
+        /// Valid updates received on the final attempt.
+        delivered: usize,
+        /// Minimum required by the transport configuration.
+        required: usize,
+    },
+    /// Every client channel disconnected, so no round can make progress.
+    AllClientsDead {
+        /// Round at which the last client was lost.
+        round: usize,
+    },
+    /// An update failed to decode on the in-process (non-threaded) path,
+    /// where there is no per-client quorum to fall back on.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for FlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlError::QuorumNotMet {
+                round,
+                delivered,
+                required,
+            } => write!(
+                f,
+                "round {round}: quorum not met ({delivered} valid updates, {required} required)"
+            ),
+            FlError::AllClientsDead { round } => {
+                write!(f, "round {round}: all clients disconnected")
+            }
+            FlError::Codec(e) => write!(f, "update decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for FlError {
+    fn from(e: CodecError) -> Self {
+        FlError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlError::QuorumNotMet {
+            round: 3,
+            delivered: 1,
+            required: 2,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("round 3") && s.contains('1') && s.contains('2'),
+            "{s}"
+        );
+        assert!(FlError::AllClientsDead { round: 0 }
+            .to_string()
+            .contains("disconnected"));
+        let c = FlError::from(CodecError::Corrupt("bad FedSZ magic"));
+        assert!(c.to_string().contains("bad FedSZ magic"));
+    }
+
+    #[test]
+    fn codec_errors_carry_a_source() {
+        use std::error::Error as _;
+        assert!(FlError::Codec(CodecError::UnexpectedEof).source().is_some());
+        assert!(FlError::AllClientsDead { round: 1 }.source().is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic fault injection for the threaded transport.
+//!
+//! A [`FaultPlan`] makes client failure *testable*: it names exactly which
+//! client misbehaves in which round and how. The transport consults the
+//! plan on the client side, so the server observes the faults through the
+//! same code paths a real deployment would (a corrupt bitstream on the
+//! uplink, a closed channel, a message that arrives after the deadline).
+
+use std::time::Duration;
+
+/// What a planned fault does to one client in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Corrupt the serialized uplink payload (the server detects this as a
+    /// decode failure and rejects the update).
+    Corrupt,
+    /// The client thread exits without sending and never comes back; its
+    /// channels disconnect, and from the next round on the server drops it.
+    Crash,
+    /// The client delays its uplink by this much before sending; with a
+    /// round deadline shorter than the delay it is counted late.
+    Delay(Duration),
+}
+
+/// One planned fault: `client` misbehaves in `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Client index (0-based).
+    pub client: usize,
+    /// Round index (0-based).
+    pub round: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of client faults.
+///
+/// Faults fire on the *first attempt* of their round only: a round that is
+/// retried for quorum sees healthy clients again. That keeps the
+/// quorum-retry path deterministic and testable — a retried round either
+/// recovers (transient fault) or the caller models a persistent fault by
+/// planning it into consecutive rounds.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plan a corrupt uplink payload from `client` in `round`.
+    pub fn corrupt(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::Corrupt,
+        });
+        self
+    }
+
+    /// Plan `client` to crash (exit without sending) in `round`.
+    pub fn crash(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Plan `client` to delay its `round` uplink by `delay`.
+    pub fn delay(mut self, client: usize, round: usize, delay: Duration) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::Delay(delay),
+        });
+        self
+    }
+
+    /// The fault planned for `(client, round)`, if any. The first matching
+    /// spec wins.
+    pub fn fault_for(&self, client: usize, round: usize) -> Option<FaultKind> {
+        self.specs
+            .iter()
+            .find(|s| s.client == client && s.round == round)
+            .map(|s| s.kind)
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_and_lookup_matches() {
+        let plan = FaultPlan::new()
+            .corrupt(1, 0)
+            .crash(2, 3)
+            .delay(0, 5, Duration::from_secs(1));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.fault_for(1, 0), Some(FaultKind::Corrupt));
+        assert_eq!(plan.fault_for(2, 3), Some(FaultKind::Crash));
+        assert_eq!(
+            plan.fault_for(0, 5),
+            Some(FaultKind::Delay(Duration::from_secs(1)))
+        );
+        assert_eq!(plan.fault_for(0, 0), None);
+        assert_eq!(plan.fault_for(1, 1), None);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        for c in 0..4 {
+            for r in 0..4 {
+                assert_eq!(plan.fault_for(c, r), None);
+            }
+        }
+    }
+
+    #[test]
+    fn first_matching_spec_wins() {
+        let plan = FaultPlan::new().corrupt(0, 0).crash(0, 0);
+        assert_eq!(plan.fault_for(0, 0), Some(FaultKind::Corrupt));
+    }
+}

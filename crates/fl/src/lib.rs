@@ -9,11 +9,23 @@
 //! timing and size measurements needed by Tables I/V and Figures 4–7 are
 //! recorded per round.
 
+//!
+//! The threaded transport ([`transport`]) is fault-tolerant: corrupt,
+//! dead, and straggling clients are counted per round
+//! ([`RoundMetrics::faults`]) and excluded from the aggregate, which runs
+//! over the quorum of valid on-time updates. [`fault::FaultPlan`] injects
+//! such failures deterministically, and [`error::FlError`] is the typed
+//! alternative to the server panicking.
+
 pub mod aggregate;
+pub mod error;
+pub mod fault;
 pub mod partition;
 pub mod session;
 pub mod transport;
 
 pub use aggregate::fedavg;
+pub use error::FlError;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use session::{run, run_scheduled, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD};
-pub use transport::run_threaded;
+pub use transport::{run_threaded, run_threaded_with, TransportConfig};

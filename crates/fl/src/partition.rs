@@ -50,10 +50,7 @@ pub fn dirichlet(ds: &Dataset, n_clients: usize, alpha: f64, rng: &mut SplitMix6
             start = end;
         }
     }
-    assignments
-        .into_iter()
-        .map(|idx| ds.subset(&idx))
-        .collect()
+    assignments.into_iter().map(|idx| ds.subset(&idx)).collect()
 }
 
 #[cfg(test)]

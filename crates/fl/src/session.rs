@@ -3,12 +3,13 @@
 
 use std::time::Instant;
 
-use fedsz::{CompressedUpdate, FedSzConfig};
+use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
 use fedsz_dnn::{DatasetKind, ModelArch, Network};
 use fedsz_tensor::{SplitMix64, StateDict};
 use rayon::prelude::*;
 
 use crate::aggregate::fedavg;
+use crate::error::FlError;
 use crate::partition;
 
 /// FedSZ partition threshold for the scaled model analogues: their conv
@@ -99,6 +100,8 @@ pub struct RoundMetrics {
     pub bytes_on_wire: usize,
     /// Total uncompressed update bytes, all clients.
     pub bytes_uncompressed: usize,
+    /// Client participation outcome (delivered / rejected / late / dropped).
+    pub faults: FaultCounters,
 }
 
 impl RoundMetrics {
@@ -162,23 +165,42 @@ impl FlRunResult {
         self.rounds.iter().map(|r| r.bytes_on_wire).sum::<usize>() as f64
             / (self.rounds.len() * self.n_clients) as f64
     }
+
+    /// Participation outcome summed over all rounds.
+    pub fn fault_summary(&self) -> FaultCounters {
+        self.rounds
+            .iter()
+            .fold(FaultCounters::default(), |acc, r| FaultCounters {
+                delivered: acc.delivered + r.faults.delivered,
+                rejected: acc.rejected + r.faults.rejected,
+                late: acc.late + r.faults.late,
+                dropped: acc.dropped + r.faults.dropped,
+            })
+    }
 }
 
 /// Run a federated session per `cfg`.
-pub fn run(cfg: &FlConfig) -> FlRunResult {
+pub fn run(cfg: &FlConfig) -> Result<FlRunResult, FlError> {
     run_scheduled(cfg, |_| cfg.compression)
 }
 
 /// Run a federated session with a per-round compression configuration —
 /// the hook behind the error-bound scheduling ablation (paper §VIII-B).
 /// `schedule(round)` returning `None` disables compression for that round.
+///
+/// The in-process path has no per-client transport, so a decode failure is
+/// a programming error rather than a network event; it is surfaced as
+/// [`FlError::Codec`] instead of a panic, consistent with
+/// [`run_threaded`](crate::transport::run_threaded)'s error handling.
 pub fn run_scheduled(
     cfg: &FlConfig,
     schedule: impl Fn(usize) -> Option<FedSzConfig> + Sync,
-) -> FlRunResult {
+) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
     let total_train = cfg.n_clients * cfg.samples_per_client;
-    let (train, test) = cfg.dataset.generate(total_train, cfg.test_samples, cfg.seed);
+    let (train, test) = cfg
+        .dataset
+        .generate(total_train, cfg.test_samples, cfg.seed);
 
     let mut rng = SplitMix64::new(cfg.seed ^ 0xF17E_57A7);
     let shards = match cfg.dirichlet_alpha {
@@ -251,7 +273,7 @@ pub fn run_scheduled(
             let sd = match &out.update {
                 Some(update) => {
                     let t = Instant::now();
-                    let sd = fedsz::decompress(update).expect("FedSZ round trip failed");
+                    let sd = fedsz::decompress(update)?;
                     decompress_s_total += t.elapsed().as_secs_f64();
                     sd
                 }
@@ -271,12 +293,13 @@ pub fn run_scheduled(
             decompress_s_total,
             bytes_on_wire: outs.iter().map(|o| o.wire_bytes).sum(),
             bytes_uncompressed: outs.iter().map(|o| o.raw_bytes).sum(),
+            faults: FaultCounters::full(cfg.n_clients),
         });
     }
-    FlRunResult {
+    Ok(FlRunResult {
         rounds,
         n_clients: cfg.n_clients,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -295,7 +318,7 @@ mod tests {
 
     #[test]
     fn uncompressed_fl_learns() {
-        let result = run(&quick(None));
+        let result = run(&quick(None)).expect("fl run");
         assert_eq!(result.rounds.len(), 4);
         assert!(
             result.final_accuracy() > 0.3,
@@ -310,8 +333,8 @@ mod tests {
 
     #[test]
     fn fedsz_compresses_and_tracks_accuracy() {
-        let base = run(&quick(None));
-        let fedsz = run(&quick(FlConfig::with_fedsz(1e-2).compression));
+        let base = run(&quick(None)).expect("fl run");
+        let fedsz = run(&quick(FlConfig::with_fedsz(1e-2).compression)).expect("fl run");
         let r0 = &fedsz.rounds[0];
         assert!(
             r0.compression_ratio() > 2.0,
@@ -332,10 +355,10 @@ mod tests {
     fn huge_error_bound_destroys_learning() {
         let mut cfg = quick(FlConfig::with_fedsz(0.5).compression);
         cfg.rounds = 4;
-        let result = run(&cfg);
+        let result = run(&cfg).expect("fl run");
         // With ±50%-of-range noise every round the model cannot converge to
         // baseline quality (Fig. 5's cliff).
-        let base = run(&quick(None));
+        let base = run(&quick(None)).expect("fl run");
         assert!(
             result.final_accuracy() < base.final_accuracy() - 0.1,
             "fedsz@0.5 {} vs base {}",
@@ -346,8 +369,8 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run(&quick(None));
-        let b = run(&quick(None));
+        let a = run(&quick(None)).expect("fl run");
+        let b = run(&quick(None)).expect("fl run");
         let accs_a: Vec<f64> = a.rounds.iter().map(|r| r.accuracy).collect();
         let accs_b: Vec<f64> = b.rounds.iter().map(|r| r.accuracy).collect();
         assert_eq!(accs_a, accs_b);
@@ -358,7 +381,7 @@ mod tests {
         let mut cfg = quick(None);
         cfg.dirichlet_alpha = Some(0.5);
         cfg.rounds = 5;
-        let result = run(&cfg);
+        let result = run(&cfg).expect("fl run");
         assert!(result.final_accuracy() > 0.2, "{}", result.final_accuracy());
     }
 }

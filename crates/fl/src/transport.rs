@@ -10,19 +10,69 @@
 //! The downlink broadcast uses FedSZ with an "everything lossless"
 //! partition (threshold `usize::MAX`), so the global model arrives
 //! bit-exact; the uplink uses the configured compression, as in the paper.
+//!
+//! # Fault tolerance
+//!
+//! Unlike the paper's testbed, the server here never assumes that every
+//! client answers every round:
+//!
+//! * A **corrupt uplink** is a decode failure, counted as `rejected` and
+//!   excluded from the aggregate.
+//! * A **dead client** (disconnected downlink channel) is counted as
+//!   `dropped` and no longer waited for.
+//! * A **straggler** that misses the per-round deadline is counted as
+//!   `late`; its stale message is discarded when it eventually arrives.
+//!
+//! Each round aggregates FedAvg over the quorum of valid, on-time updates.
+//! If the quorum falls below [`TransportConfig::min_quorum`], the round is
+//! retried up to [`TransportConfig::max_round_retries`] times and the run
+//! then aborts with [`FlError::QuorumNotMet`] — a typed error, not a panic.
+//! [`FaultPlan`] injects these failures deterministically for tests.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use fedsz::{CompressedUpdate, FedSzConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
 use fedsz_tensor::{SplitMix64, StateDict};
 
 use crate::aggregate::fedavg;
+use crate::error::FlError;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::partition;
 use crate::session::{FlConfig, FlRunResult, RoundMetrics};
 
-/// Uplink message: one client's update for one round.
+/// Transport-level policy: per-round deadline, quorum, retries, and fault
+/// injection.
+#[derive(Debug, Clone, Default)]
+pub struct TransportConfig {
+    /// Wall-clock budget per round attempt. `None` waits for every client
+    /// that is not already known dead — corrupt updates and disconnected
+    /// channels are still tolerated, but a client that hangs without
+    /// closing its channel can only be dropped when a deadline is set.
+    pub round_deadline: Option<Duration>,
+    /// Minimum number of valid updates a round needs before aggregating
+    /// (values below 1 are treated as 1).
+    pub min_quorum: usize,
+    /// How many times a quorum-starved round is re-broadcast before the run
+    /// aborts with [`FlError::QuorumNotMet`].
+    pub max_round_retries: usize,
+    /// Deterministic fault injection (tests and chaos experiments).
+    pub faults: FaultPlan,
+}
+
+impl TransportConfig {
+    /// Effective quorum (at least one update, or FedAvg has nothing to do).
+    fn quorum(&self) -> usize {
+        self.min_quorum.max(1)
+    }
+}
+
+/// Uplink message: one client's update for one round attempt.
 struct ClientMsg {
     client_id: usize,
     round: usize,
+    attempt: usize,
     payload: CompressedUpdate,
     samples: usize,
     train_s: f64,
@@ -32,7 +82,11 @@ struct ClientMsg {
 
 /// Downlink message: the new global model (or a stop signal).
 enum ServerMsg {
-    Broadcast(CompressedUpdate),
+    Broadcast {
+        round: usize,
+        attempt: usize,
+        model: CompressedUpdate,
+    },
     Stop,
 }
 
@@ -44,15 +98,23 @@ fn broadcast_config(uplink: &Option<FedSzConfig>) -> FedSzConfig {
     }
 }
 
-/// Run the federated session with one OS thread per client.
+/// Run the federated session with one OS thread per client and default
+/// transport policy (no deadline, quorum of one, no injected faults).
 ///
 /// Semantically equivalent to [`crate::session::run`] (same seeds → same
 /// training trajectories) but exercising the full serialize → channel →
 /// deserialize path in both directions.
-pub fn run_threaded(cfg: &FlConfig) -> FlRunResult {
+pub fn run_threaded(cfg: &FlConfig) -> Result<FlRunResult, FlError> {
+    run_threaded_with(cfg, &TransportConfig::default())
+}
+
+/// Run the threaded federated session under an explicit transport policy.
+pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
     let total_train = cfg.n_clients * cfg.samples_per_client;
-    let (train, test) = cfg.dataset.generate(total_train, cfg.test_samples, cfg.seed);
+    let (train, test) = cfg
+        .dataset
+        .generate(total_train, cfg.test_samples, cfg.seed);
 
     let mut rng = SplitMix64::new(cfg.seed ^ 0xF17E_57A7);
     let shards = match cfg.dirichlet_alpha {
@@ -60,8 +122,9 @@ pub fn run_threaded(cfg: &FlConfig) -> FlRunResult {
         None => partition::iid(&train, cfg.n_clients, &mut rng),
     };
 
-    let (up_tx, up_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = bounded(cfg.n_clients);
+    let (up_tx, up_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = unbounded();
     let bcast_cfg = broadcast_config(&cfg.compression);
+    let plan = Arc::new(tcfg.faults.clone());
 
     let mut down_txs: Vec<Sender<ServerMsg>> = Vec::with_capacity(cfg.n_clients);
     let mut handles = Vec::with_capacity(cfg.n_clients);
@@ -70,61 +133,131 @@ pub fn run_threaded(cfg: &FlConfig) -> FlRunResult {
         down_txs.push(down_tx);
         let up_tx = up_tx.clone();
         let cfg = *cfg;
+        let plan = Arc::clone(&plan);
         handles.push(std::thread::spawn(move || {
-            let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (i as u64 + 1));
-            let mut round = 0usize;
-            while let Ok(ServerMsg::Broadcast(global)) = down_rx.recv() {
-                let sd = fedsz::decompress(&global).expect("broadcast decode");
-                net.load_state_dict(&sd);
-                let mut lrng = SplitMix64::new(
-                    cfg.seed ^ ((round as u64) << 32) ^ (i as u64).wrapping_mul(0x9E37),
-                );
-                let t0 = std::time::Instant::now();
-                for _ in 0..cfg.local_epochs {
-                    net.train_epoch(&shard, cfg.batch_size, cfg.lr, cfg.momentum, &mut lrng);
-                }
-                let train_s = t0.elapsed().as_secs_f64();
-                let local = net.state_dict();
-                let raw_bytes = local.nbytes();
-                let t1 = std::time::Instant::now();
-                let uplink_cfg = cfg.compression.unwrap_or(FedSzConfig {
-                    threshold: usize::MAX,
-                    ..FedSzConfig::default()
-                });
-                let payload = fedsz::compress(&local, &uplink_cfg);
-                let compress_s = if cfg.compression.is_some() {
-                    t1.elapsed().as_secs_f64()
-                } else {
-                    0.0
-                };
-                up_tx
-                    .send(ClientMsg {
-                        client_id: i,
-                        round,
-                        payload,
-                        samples: shard.n.max(1),
-                        train_s,
-                        compress_s,
-                        raw_bytes,
-                    })
-                    .expect("server hung up");
-                round += 1;
-            }
+            client_loop(i, cfg, shard, c, h, classes, &plan, &down_rx, &up_tx);
         }));
     }
     drop(up_tx);
 
-    // Server loop.
+    let result = server_loop(cfg, tcfg, &test, &bcast_cfg, &down_txs, &up_rx);
+
+    for tx in &down_txs {
+        let _ = tx.send(ServerMsg::Stop);
+    }
+    drop(down_txs);
+    for h in handles {
+        // A client panic must not take the server down with it; the client
+        // was already accounted as late/dropped when it stopped responding.
+        let _ = h.join();
+    }
+    result
+}
+
+/// One client: receive the global model, train locally, send the update.
+/// Exits (closing its channels) on any transport failure instead of
+/// panicking — from the server's point of view it simply died.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    id: usize,
+    cfg: FlConfig,
+    shard: fedsz_dnn::Dataset,
+    c: usize,
+    h: usize,
+    classes: usize,
+    plan: &FaultPlan,
+    down_rx: &Receiver<ServerMsg>,
+    up_tx: &Sender<ClientMsg>,
+) {
+    let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
+    while let Ok(ServerMsg::Broadcast {
+        round,
+        attempt,
+        model,
+    }) = down_rx.recv()
+    {
+        let Ok(sd) = fedsz::decompress(&model) else {
+            return; // corrupt broadcast: nothing sane to train on
+        };
+        net.load_state_dict(&sd);
+        let mut lrng =
+            SplitMix64::new(cfg.seed ^ ((round as u64) << 32) ^ (id as u64).wrapping_mul(0x9E37));
+        let t0 = Instant::now();
+        for _ in 0..cfg.local_epochs {
+            net.train_epoch(&shard, cfg.batch_size, cfg.lr, cfg.momentum, &mut lrng);
+        }
+        let train_s = t0.elapsed().as_secs_f64();
+        let local = net.state_dict();
+        let raw_bytes = local.nbytes();
+        let t1 = Instant::now();
+        let uplink_cfg = cfg.compression.unwrap_or(FedSzConfig {
+            threshold: usize::MAX,
+            ..FedSzConfig::default()
+        });
+        let payload = fedsz::compress(&local, &uplink_cfg);
+        // Serialization runs (and takes time) even on the lossless path, so
+        // the elapsed time is reported unconditionally — otherwise the
+        // uncompressed baseline's timing numbers are silently understated.
+        let compress_s = t1.elapsed().as_secs_f64();
+
+        // Injected faults fire on the first attempt of their round only, so
+        // a quorum retry observes a healthy client again.
+        let fault = if attempt == 0 {
+            plan.fault_for(id, round)
+        } else {
+            None
+        };
+        let payload = match fault {
+            Some(FaultKind::Crash) => return,
+            Some(FaultKind::Corrupt) => {
+                let mut bytes = payload.into_bytes();
+                if let Some(b) = bytes.first_mut() {
+                    *b ^= 0xFF; // break the magic: guaranteed decode failure
+                }
+                CompressedUpdate::from_bytes(bytes)
+            }
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                payload
+            }
+            None => payload,
+        };
+        if up_tx
+            .send(ClientMsg {
+                client_id: id,
+                round,
+                attempt,
+                payload,
+                samples: shard.n.max(1),
+                train_s,
+                compress_s,
+                raw_bytes,
+            })
+            .is_err()
+        {
+            return; // server gone: shut down quietly
+        }
+    }
+}
+
+/// The server side: broadcast, collect under the deadline, aggregate over
+/// the quorum, retry or abort when the quorum is not met.
+fn server_loop(
+    cfg: &FlConfig,
+    tcfg: &TransportConfig,
+    test: &fedsz_dnn::Dataset,
+    bcast_cfg: &FedSzConfig,
+    down_txs: &[Sender<ServerMsg>],
+    up_rx: &Receiver<ClientMsg>,
+) -> Result<FlRunResult, FlError> {
+    let (c, h, _, classes) = cfg.dataset.dims();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
     let mut global = server.state_dict();
+    let mut dead = vec![false; cfg.n_clients];
     let mut rounds = Vec::with_capacity(cfg.rounds);
+
     for round in 0..cfg.rounds {
-        let broadcast = fedsz::compress(&global, &bcast_cfg);
-        for tx in &down_txs {
-            tx.send(ServerMsg::Broadcast(broadcast.clone()))
-                .expect("client hung up");
-        }
-        let mut updates: Vec<Option<(StateDict, usize)>> = (0..cfg.n_clients).map(|_| None).collect();
+        let broadcast = fedsz::compress(&global, bcast_cfg);
         let mut metrics = RoundMetrics {
             round,
             accuracy: 0.0,
@@ -133,40 +266,137 @@ pub fn run_threaded(cfg: &FlConfig) -> FlRunResult {
             decompress_s_total: 0.0,
             bytes_on_wire: 0,
             bytes_uncompressed: 0,
+            faults: FaultCounters::default(),
         };
-        for _ in 0..cfg.n_clients {
-            let msg = up_rx.recv().expect("a client died");
-            assert_eq!(msg.round, round, "round skew on the uplink");
-            let t = std::time::Instant::now();
-            let sd = fedsz::decompress(&msg.payload).expect("uplink decode");
-            metrics.decompress_s_total += t.elapsed().as_secs_f64();
-            metrics.train_s_total += msg.train_s;
-            metrics.compress_s_total += msg.compress_s;
-            metrics.bytes_on_wire += msg.payload.nbytes();
-            metrics.bytes_uncompressed += msg.raw_bytes;
-            updates[msg.client_id] = Some((sd, msg.samples));
-        }
-        // Aggregate in client-id order for determinism regardless of the
-        // order messages arrived in.
-        let weighted: Vec<(StateDict, usize)> = updates
-            .into_iter()
-            .map(|u| u.expect("missing client update"))
-            .collect();
+
+        let weighted = 'attempts: {
+            for attempt in 0..=tcfg.max_round_retries {
+                // Broadcast to every client not already known dead; a failed
+                // send means the client's channel is gone.
+                for (id, tx) in down_txs.iter().enumerate() {
+                    if dead[id] {
+                        continue;
+                    }
+                    let msg = ServerMsg::Broadcast {
+                        round,
+                        attempt,
+                        model: broadcast.clone(),
+                    };
+                    if tx.send(msg).is_err() {
+                        dead[id] = true;
+                    }
+                }
+                let expected = dead.iter().filter(|d| !**d).count();
+                if expected == 0 {
+                    return Err(FlError::AllClientsDead { round });
+                }
+
+                let outcome = collect_attempt(
+                    cfg,
+                    round,
+                    attempt,
+                    expected,
+                    tcfg.round_deadline,
+                    up_rx,
+                    &mut metrics,
+                );
+                if outcome.delivered >= tcfg.quorum() {
+                    break 'attempts outcome.updates;
+                }
+                if attempt == tcfg.max_round_retries {
+                    return Err(FlError::QuorumNotMet {
+                        round,
+                        delivered: outcome.delivered,
+                        required: tcfg.quorum(),
+                    });
+                }
+            }
+            unreachable!("attempt loop either breaks with a quorum or returns an error");
+        };
+
+        metrics.faults.dropped = dead.iter().filter(|d| **d).count();
         global = fedavg(&weighted);
         server.load_state_dict(&global);
-        metrics.accuracy = server.evaluate(&test);
+        metrics.accuracy = server.evaluate(test);
         rounds.push(metrics);
     }
-    for tx in &down_txs {
-        let _ = tx.send(ServerMsg::Stop);
-    }
-    drop(down_txs);
-    for h in handles {
-        h.join().expect("client thread panicked");
-    }
-    FlRunResult {
+
+    Ok(FlRunResult {
         rounds,
         n_clients: cfg.n_clients,
+    })
+}
+
+/// Result of collecting one round attempt.
+struct AttemptOutcome {
+    /// Valid updates in client-id order (aggregation stays deterministic
+    /// regardless of arrival order).
+    updates: Vec<(StateDict, usize)>,
+    /// Number of valid updates.
+    delivered: usize,
+}
+
+/// Collect uplink messages for `(round, attempt)` until every expected
+/// client has answered or the deadline passes. Corrupt payloads count as
+/// rejected; missing clients as late; stale messages from earlier rounds or
+/// attempts are discarded (they were already accounted when they ran late).
+fn collect_attempt(
+    cfg: &FlConfig,
+    round: usize,
+    attempt: usize,
+    expected: usize,
+    deadline: Option<Duration>,
+    up_rx: &Receiver<ClientMsg>,
+    metrics: &mut RoundMetrics,
+) -> AttemptOutcome {
+    let cutoff = deadline.map(|d| Instant::now() + d);
+    let mut slots: Vec<Option<(StateDict, usize)>> = (0..cfg.n_clients).map(|_| None).collect();
+    let mut delivered = 0usize;
+    let mut rejected = 0usize;
+
+    while delivered + rejected < expected {
+        let msg = match cutoff {
+            Some(end) => {
+                let Some(left) = end.checked_duration_since(Instant::now()) else {
+                    break; // deadline passed while processing
+                };
+                match up_rx.recv_timeout(left) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match up_rx.recv() {
+                Ok(m) => m,
+                Err(_) => break, // every client hung up
+            },
+        };
+        if msg.round != round || msg.attempt != attempt || msg.client_id >= cfg.n_clients {
+            continue; // stale straggler output (or nonsense id): discard
+        }
+        let t = Instant::now();
+        match fedsz::decompress(&msg.payload) {
+            Ok(sd) => {
+                metrics.decompress_s_total += t.elapsed().as_secs_f64();
+                metrics.train_s_total += msg.train_s;
+                metrics.compress_s_total += msg.compress_s;
+                metrics.bytes_on_wire += msg.payload.nbytes();
+                metrics.bytes_uncompressed += msg.raw_bytes;
+                if slots[msg.client_id].is_none() {
+                    delivered += 1;
+                }
+                slots[msg.client_id] = Some((sd, msg.samples));
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+
+    metrics.faults.rejected += rejected;
+    metrics.faults.late += expected - delivered - rejected;
+    metrics.faults.delivered = delivered;
+    AttemptOutcome {
+        updates: slots.into_iter().flatten().collect(),
+        delivered,
     }
 }
 
@@ -185,9 +415,13 @@ mod tests {
 
     #[test]
     fn threaded_run_learns() {
-        let result = run_threaded(&quick_cfg());
+        let result = run_threaded(&quick_cfg()).expect("fl run");
         assert_eq!(result.rounds.len(), 3);
         assert!(result.final_accuracy() > 0.2, "{}", result.final_accuracy());
+        for r in &result.rounds {
+            assert!(r.faults.is_clean());
+            assert_eq!(r.faults.delivered, 4);
+        }
     }
 
     #[test]
@@ -195,8 +429,8 @@ mod tests {
         // Same seeds, same client order at aggregation → identical
         // accuracies, proving the wire round trip is transparent.
         let cfg = quick_cfg();
-        let sequential = crate::session::run(&cfg);
-        let threaded = run_threaded(&cfg);
+        let sequential = crate::session::run(&cfg).expect("fl run");
+        let threaded = run_threaded(&cfg).expect("fl run");
         let a: Vec<f64> = sequential.rounds.iter().map(|r| r.accuracy).collect();
         let b: Vec<f64> = threaded.rounds.iter().map(|r| r.accuracy).collect();
         assert_eq!(a, b);
@@ -208,11 +442,33 @@ mod tests {
             compression: FlConfig::with_fedsz(1e-2).compression,
             ..quick_cfg()
         };
-        let result = run_threaded(&cfg);
+        let result = run_threaded(&cfg).expect("fl run");
         for r in &result.rounds {
             assert!(r.compression_ratio() > 2.0, "{}", r.compression_ratio());
             assert!(r.decompress_s_total > 0.0);
         }
-        assert!(result.final_accuracy() > 0.15, "{}", result.final_accuracy());
+        assert!(
+            result.final_accuracy() > 0.15,
+            "{}",
+            result.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn uncompressed_uplink_still_reports_serialize_time() {
+        // cfg.compression = None still serializes losslessly on the wire;
+        // the measured time must be reported, not forced to zero.
+        let result = run_threaded(&quick_cfg()).expect("fl run");
+        let total: f64 = result.rounds.iter().map(|r| r.compress_s_total).sum();
+        assert!(total > 0.0, "serialize time unreported: {total}");
+    }
+
+    #[test]
+    fn default_transport_config_is_trusting() {
+        let tcfg = TransportConfig::default();
+        assert_eq!(tcfg.round_deadline, None);
+        assert_eq!(tcfg.quorum(), 1);
+        assert_eq!(tcfg.max_round_retries, 0);
+        assert!(tcfg.faults.is_empty());
     }
 }

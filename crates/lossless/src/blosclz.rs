@@ -43,7 +43,8 @@ fn lz_encode(data: &[u8]) -> Vec<u8> {
             if cand != u32::MAX {
                 let c = cand as usize;
                 let dist = i - c;
-                if (1..=WINDOW).contains(&dist) && data[c..c + MIN_MATCH] == data[i..i + MIN_MATCH] {
+                if (1..=WINDOW).contains(&dist) && data[c..c + MIN_MATCH] == data[i..i + MIN_MATCH]
+                {
                     let mut len = MIN_MATCH;
                     while i + len < data.len() && data[c + len] == data[i + len] {
                         len += 1;
@@ -192,7 +193,9 @@ mod tests {
         let mut state = 99u64;
         let data: Vec<u8> = (0..40_000)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 40) as u8
             })
             .collect();

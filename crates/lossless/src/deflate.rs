@@ -163,7 +163,9 @@ mod tests {
         let mut state = 0xDEADBEEFu64;
         let data: Vec<u8> = (0..50_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect();
@@ -173,7 +175,9 @@ mod tests {
 
     #[test]
     fn all_profiles_round_trip() {
-        let data: Vec<u8> = (0..30_000u32).flat_map(|i| ((i / 7) as u16).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..30_000u32)
+            .flat_map(|i| ((i / 7) as u16).to_le_bytes())
+            .collect();
         for p in [
             MatcherParams::deflate(),
             MatcherParams::deflate_deep(),

@@ -49,7 +49,11 @@ mod tests {
                 let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
                 let s = shuffle(&data, typesize);
                 assert_eq!(s.len(), data.len());
-                assert_eq!(unshuffle(&s, typesize), data, "typesize {typesize} len {len}");
+                assert_eq!(
+                    unshuffle(&s, typesize),
+                    data,
+                    "typesize {typesize} len {len}"
+                );
             }
         }
     }

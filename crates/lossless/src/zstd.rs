@@ -31,7 +31,9 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let data: Vec<u8> = (0..60_000u32).flat_map(|i| ((i / 3) as u16).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..60_000u32)
+            .flat_map(|i| ((i / 3) as u16).to_le_bytes())
+            .collect();
         let c = compress(&data);
         assert_eq!(decompress(&c).unwrap(), data);
         assert!(c.len() < data.len() / 2);

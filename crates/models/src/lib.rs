@@ -29,7 +29,11 @@ pub enum ModelKind {
 impl ModelKind {
     /// All models in Table III row order (ascending size).
     pub fn all() -> [ModelKind; 3] {
-        [ModelKind::MobileNetV2, ModelKind::ResNet50, ModelKind::AlexNet]
+        [
+            ModelKind::MobileNetV2,
+            ModelKind::ResNet50,
+            ModelKind::AlexNet,
+        ]
     }
 
     /// Display name matching the paper.

@@ -56,7 +56,11 @@ mod tests {
         let row = slice_row(&field, 10);
         let s = Summary::of(&row);
         // Smoothness ratio far below spiky weights (which sit above 0.05).
-        assert!(s.smoothness_ratio() < 0.02, "ratio {}", s.smoothness_ratio());
+        assert!(
+            s.smoothness_ratio() < 0.02,
+            "ratio {}",
+            s.smoothness_ratio()
+        );
     }
 
     #[test]

@@ -59,14 +59,7 @@ impl ModelSpec {
     }
 
     /// Add a conv layer's weight (and optional bias).
-    pub(crate) fn conv(
-        &mut self,
-        prefix: &str,
-        out_ch: usize,
-        in_ch: usize,
-        k: usize,
-        bias: bool,
-    ) {
+    pub(crate) fn conv(&mut self, prefix: &str, out_ch: usize, in_ch: usize, k: usize, bias: bool) {
         self.push(
             format!("{prefix}.weight"),
             vec![out_ch, in_ch, k, k],

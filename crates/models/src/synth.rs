@@ -70,7 +70,8 @@ pub fn synthesize(spec: &ModelSpec, seed: u64) -> StateDict {
         .enumerate()
         .map(|(i, p)| {
             // Independent stream per entry: decorrelate via SplitMix of the index.
-            let sub_seed = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).next_u64();
+            let sub_seed =
+                SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).next_u64();
             synthesize_param(p, sub_seed)
         })
         .collect();
@@ -127,7 +128,11 @@ mod tests {
         let s = Summary::of(&w.data()[..100_000]);
         // Spikiness: adjacent samples jump a large fraction of the range
         // (Fig. 2 contrast; smooth fields score far below 0.05).
-        assert!(s.smoothness_ratio() > 0.03, "ratio {}", s.smoothness_ratio());
+        assert!(
+            s.smoothness_ratio() > 0.03,
+            "ratio {}",
+            s.smoothness_ratio()
+        );
     }
 
     #[test]

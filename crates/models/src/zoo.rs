@@ -30,7 +30,12 @@ pub fn resnet50(num_classes: usize) -> ModelSpec {
     s.conv("conv1", 64, 3, 7, false);
     s.batch_norm("bn1", 64);
 
-    let layers = [(1usize, 3usize, 64usize), (2, 4, 128), (3, 6, 256), (4, 3, 512)];
+    let layers = [
+        (1usize, 3usize, 64usize),
+        (2, 4, 128),
+        (3, 6, 256),
+        (4, 3, 512),
+    ];
     let mut in_ch = 64usize;
     for (layer_idx, blocks, width) in layers {
         for b in 0..blocks {
@@ -146,14 +151,16 @@ mod tests {
     fn resnet_block_structure() {
         let s = resnet50(10);
         // 16 bottlenecks + 4 downsamples + stem + fc.
-        let convs = s
+        let convs = s.params.iter().filter(|p| p.shape.len() == 4).count();
+        assert_eq!(convs, 1 + 16 * 3 + 4);
+        assert!(s
             .params
             .iter()
-            .filter(|p| p.shape.len() == 4)
-            .count();
-        assert_eq!(convs, 1 + 16 * 3 + 4);
-        assert!(s.params.iter().any(|p| p.name == "layer4.2.bn3.running_var"));
-        assert!(s.params.iter().any(|p| p.name == "layer2.0.downsample.0.weight"));
+            .any(|p| p.name == "layer4.2.bn3.running_var"));
+        assert!(s
+            .params
+            .iter()
+            .any(|p| p.name == "layer2.0.downsample.0.weight"));
     }
 
     #[test]

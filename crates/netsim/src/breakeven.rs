@@ -63,9 +63,21 @@ mod tests {
     #[test]
     fn low_bandwidth_favors_compression() {
         // 100 MB reduced 10x with 2 s of codec time.
-        assert!(worthwhile(1.0, 1.0, 100_000_000, 10_000_000, Bandwidth::mbps(10.0)));
+        assert!(worthwhile(
+            1.0,
+            1.0,
+            100_000_000,
+            10_000_000,
+            Bandwidth::mbps(10.0)
+        ));
         // At 10 Gbps the raw transfer takes 0.08 s; codec time dominates.
-        assert!(!worthwhile(1.0, 1.0, 100_000_000, 10_000_000, Bandwidth::gbps(10.0)));
+        assert!(!worthwhile(
+            1.0,
+            1.0,
+            100_000_000,
+            10_000_000,
+            Bandwidth::gbps(10.0)
+        ));
     }
 
     #[test]

@@ -39,6 +39,68 @@ impl VirtualClock {
     }
 }
 
+/// A per-round deadline against the virtual clock — the deterministic
+/// mirror of the threaded transport's wall-clock `recv_timeout` deadline.
+///
+/// The transport drops stragglers whose update arrives after the deadline;
+/// this type makes the same admit/late decision against simulated arrival
+/// times, so quorum behaviour can be tested without real waiting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deadline {
+    expires_at: f64,
+}
+
+impl Deadline {
+    /// Deadline `budget` seconds after the clock's current time.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite budget.
+    pub fn after(clock: &VirtualClock, budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "invalid deadline budget {budget}"
+        );
+        Self {
+            expires_at: clock.now() + budget,
+        }
+    }
+
+    /// Absolute simulated expiry time.
+    pub fn expires_at(&self) -> f64 {
+        self.expires_at
+    }
+
+    /// Would an update arriving at simulated time `arrival` be admitted?
+    pub fn admits(&self, arrival: f64) -> bool {
+        arrival <= self.expires_at
+    }
+
+    /// Has the deadline already passed at the clock's current time?
+    pub fn expired(&self, clock: &VirtualClock) -> bool {
+        clock.now() > self.expires_at
+    }
+
+    /// Simulated seconds left before expiry (zero once passed).
+    pub fn remaining(&self, clock: &VirtualClock) -> f64 {
+        (self.expires_at - clock.now()).max(0.0)
+    }
+}
+
+/// Partition simulated per-client arrival times into (on-time, late) client
+/// index sets — the virtual-clock analogue of one round's quorum collection.
+pub fn admit_arrivals(deadline: &Deadline, arrivals: &[f64]) -> (Vec<usize>, Vec<usize>) {
+    let mut on_time = Vec::new();
+    let mut late = Vec::new();
+    for (client, &t) in arrivals.iter().enumerate() {
+        if deadline.admits(t) {
+            on_time.push(client);
+        } else {
+            late.push(client);
+        }
+    }
+    (on_time, late)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +127,35 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn negative_duration_rejected() {
         VirtualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn deadline_admits_and_expires() {
+        let mut clock = VirtualClock::new();
+        clock.advance(10.0);
+        let d = Deadline::after(&clock, 2.5);
+        assert_eq!(d.expires_at(), 12.5);
+        assert!(d.admits(12.5));
+        assert!(!d.admits(12.6));
+        assert!(!d.expired(&clock));
+        assert_eq!(d.remaining(&clock), 2.5);
+        clock.advance(3.0);
+        assert!(d.expired(&clock));
+        assert_eq!(d.remaining(&clock), 0.0);
+    }
+
+    #[test]
+    fn arrival_admission_partitions_clients() {
+        let clock = VirtualClock::new();
+        let d = Deadline::after(&clock, 1.0);
+        let (on_time, late) = admit_arrivals(&d, &[0.2, 1.0, 1.7, 0.9, 5.0]);
+        assert_eq!(on_time, vec![0, 1, 3]);
+        assert_eq!(late, vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid deadline budget")]
+    fn negative_deadline_budget_rejected() {
+        Deadline::after(&VirtualClock::new(), -1.0);
     }
 }

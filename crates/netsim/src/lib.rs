@@ -13,5 +13,5 @@ pub mod link;
 pub mod scaling;
 
 pub use breakeven::{crossover_bandwidth, total_time_compressed, worthwhile};
-pub use clock::VirtualClock;
+pub use clock::{admit_arrivals, Deadline, VirtualClock};
 pub use link::{Bandwidth, Link};

@@ -83,7 +83,8 @@ pub fn strong_speedup(
     procs: usize,
     bandwidth: Bandwidth,
 ) -> f64 {
-    strong_round_time(costs, clients, 1, bandwidth) / strong_round_time(costs, clients, procs, bandwidth)
+    strong_round_time(costs, clients, 1, bandwidth)
+        / strong_round_time(costs, clients, procs, bandwidth)
 }
 
 #[cfg(test)]
@@ -122,8 +123,8 @@ mod tests {
         // — the "moderate adaptability" §VII-C describes.
         let bw = Bandwidth::mbps(10.0);
         let c = costs_fedsz();
-        let asymptote = weak_round_time(&c, 1, bw)
-            / (bw.transfer_seconds(c.update_bytes) + c.decompress_s);
+        let asymptote =
+            weak_round_time(&c, 1, bw) / (bw.transfer_seconds(c.update_bytes) + c.decompress_s);
         let mut last = 0.0;
         for procs in [2usize, 8, 32, 128] {
             let s = weak_speedup(&c, procs, bw);
@@ -136,9 +137,7 @@ mod tests {
         let s128 = weak_speedup(&c, 128, bw);
         assert!(s128 < 16.0, "s128 {s128} too close to ideal 128");
         // FedSZ's smaller updates buy a higher communication-bound ceiling.
-        assert!(
-            weak_speedup(&costs_fedsz(), 128, bw) > weak_speedup(&costs_raw(), 128, bw)
-        );
+        assert!(weak_speedup(&costs_fedsz(), 128, bw) > weak_speedup(&costs_raw(), 128, bw));
     }
 
     #[test]
@@ -161,7 +160,8 @@ mod tests {
             assert!(fedsz < raw, "procs {procs}: {fedsz} vs {raw}");
         }
         // Absolute saving grows with the client count.
-        let save_small = weak_round_time(&costs_raw(), 2, bw) - weak_round_time(&costs_fedsz(), 2, bw);
+        let save_small =
+            weak_round_time(&costs_raw(), 2, bw) - weak_round_time(&costs_fedsz(), 2, bw);
         let save_large =
             weak_round_time(&costs_raw(), 128, bw) - weak_round_time(&costs_fedsz(), 128, bw);
         assert!(save_large > 10.0 * save_small);

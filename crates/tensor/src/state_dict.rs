@@ -148,7 +148,11 @@ mod tests {
             TensorKind::Weight,
             Tensor::new(vec![2, 3], vec![1.0; 6]),
         );
-        sd.insert("conv.bias", TensorKind::Bias, Tensor::from_vec(vec![0.5, 0.5]));
+        sd.insert(
+            "conv.bias",
+            TensorKind::Bias,
+            Tensor::from_vec(vec![0.5, 0.5]),
+        );
         sd
     }
 
@@ -166,7 +170,11 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_names_rejected() {
         let mut sd = sample();
-        sd.insert("conv.weight", TensorKind::Weight, Tensor::from_vec(vec![1.0]));
+        sd.insert(
+            "conv.weight",
+            TensorKind::Weight,
+            Tensor::from_vec(vec![1.0]),
+        );
     }
 
     #[test]
@@ -190,7 +198,12 @@ mod tests {
     fn zeros_like_matches_structure() {
         let z = sample().zeros_like();
         assert_eq!(z.len(), 2);
-        assert!(z.get("conv.weight").unwrap().data().iter().all(|&v| v == 0.0));
+        assert!(z
+            .get("conv.weight")
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

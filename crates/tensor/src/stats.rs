@@ -192,7 +192,9 @@ mod tests {
 
     #[test]
     fn summary_of_alternating_is_spiky() {
-        let spiky: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let spiky: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let s = Summary::of(&spiky);
         assert!((s.smoothness_ratio() - 1.0).abs() < 1e-9);
     }

@@ -31,7 +31,8 @@ fn main() {
                 threshold: SMALL_MODEL_THRESHOLD,
                 ..FedSzConfig::with_rel_bound(schedule.bound_at(round))
             })
-        });
+        })
+        .expect("fl run");
         let (acc, bytes, compress_s) = result.summary();
         println!("schedule: {name}");
         for r in &result.rounds {

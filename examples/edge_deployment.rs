@@ -38,7 +38,10 @@ fn main() {
         None => println!("compression never pays on this machine\n"),
     }
 
-    println!("{:<14}{:>14}{:>14}  decision", "bandwidth", "raw transfer", "with FedSZ");
+    println!(
+        "{:<14}{:>14}{:>14}  decision",
+        "bandwidth", "raw transfer", "with FedSZ"
+    );
     for mbps in [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 10_000.0] {
         let bw = Bandwidth::mbps(mbps);
         let raw = breakeven::total_time_uncompressed(sd.nbytes(), bw);

@@ -20,7 +20,7 @@ fn main() {
     );
 
     println!("\n--- uncompressed baseline ---");
-    let baseline = fedsz_fl::run(&baseline_cfg);
+    let baseline = fedsz_fl::run(&baseline_cfg).expect("fl run");
     for r in &baseline.rounds {
         println!(
             "round {:>2}: accuracy {:.1}%  bytes {:>10}",
@@ -31,7 +31,7 @@ fn main() {
     }
 
     println!("\n--- FedSZ (SZ2 + blosc-lz @ rel 1e-2) ---");
-    let fedsz = fedsz_fl::run(&FlConfig::with_fedsz(1e-2));
+    let fedsz = fedsz_fl::run(&FlConfig::with_fedsz(1e-2)).expect("fl run");
     for r in &fedsz.rounds {
         println!(
             "round {:>2}: accuracy {:.1}%  bytes {:>10}  (ratio {:.2}x, compress {:.0} ms)",

@@ -37,11 +37,7 @@ fn sz2_has_the_best_eblc_ratio_on_weights() {
     let sz2 = ratio(LossyKind::Sz2, &data, 1e-2);
     for other in [LossyKind::SzxPaper, LossyKind::Zfp] {
         let r = ratio(other, &data, 1e-2);
-        assert!(
-            sz2 > r,
-            "SZ2 {sz2:.2} should beat {} {r:.2}",
-            other.name()
-        );
+        assert!(sz2 > r, "SZ2 {sz2:.2} should beat {} {r:.2}", other.name());
     }
     // SZ3 is allowed to tie within a few percent (same prediction family).
     let sz3 = ratio(LossyKind::Sz3, &data, 1e-2);
@@ -99,10 +95,22 @@ fn blosclz_is_fastest_and_xz_best_ratio_on_metadata() {
         times.push((kind, t0.elapsed().as_secs_f64()));
         sizes.push((kind, c.len()));
     }
-    let blosc_t = times.iter().find(|(k, _)| *k == LosslessKind::BloscLz).unwrap().1;
-    let xz_t = times.iter().find(|(k, _)| *k == LosslessKind::Xz).unwrap().1;
+    let blosc_t = times
+        .iter()
+        .find(|(k, _)| *k == LosslessKind::BloscLz)
+        .unwrap()
+        .1;
+    let xz_t = times
+        .iter()
+        .find(|(k, _)| *k == LosslessKind::Xz)
+        .unwrap()
+        .1;
     assert!(blosc_t * 3.0 < xz_t, "blosc {blosc_t:.3}s vs xz {xz_t:.3}s");
-    let xz_len = sizes.iter().find(|(k, _)| *k == LosslessKind::Xz).unwrap().1;
+    let xz_len = sizes
+        .iter()
+        .find(|(k, _)| *k == LosslessKind::Xz)
+        .unwrap()
+        .1;
     for (kind, len) in &sizes {
         assert!(
             xz_len <= len + len / 20,

@@ -19,7 +19,11 @@ fn model_like_dict(seed: u64, n_layers: usize) -> StateDict {
             Tensor::from_vec(w),
         );
         let b: Vec<f32> = (0..16).map(|_| rng.normal_with(0.0, 0.01) as f32).collect();
-        sd.insert(format!("layer{i}.bias"), TensorKind::Bias, Tensor::from_vec(b));
+        sd.insert(
+            format!("layer{i}.bias"),
+            TensorKind::Bias,
+            Tensor::from_vec(b),
+        );
     }
     sd
 }
@@ -40,7 +44,10 @@ fn double_compression_is_idempotent_in_error() {
     // Compressing an already-round-tripped dict again must not add error:
     // reconstructed values land exactly on quantization grid points.
     let sd = model_like_dict(2, 3);
-    let cfg = FedSzConfig { threshold: 128, ..FedSzConfig::default() };
+    let cfg = FedSzConfig {
+        threshold: 128,
+        ..FedSzConfig::default()
+    };
     let once = decompress(&compress(&sd, &cfg)).unwrap();
     let twice = decompress(&compress(&once, &cfg)).unwrap();
     // The second pass quantizes against a slightly different range (the
@@ -59,7 +66,11 @@ fn double_compression_is_idempotent_in_error() {
 fn updates_from_different_configs_are_distinguishable() {
     let sd = model_like_dict(3, 2);
     for lossy in LossyKind::all() {
-        let cfg = FedSzConfig { lossy, threshold: 128, ..FedSzConfig::default() };
+        let cfg = FedSzConfig {
+            lossy,
+            threshold: 128,
+            ..FedSzConfig::default()
+        };
         let update = compress(&sd, &cfg);
         // Self-describing: decode without knowing the config.
         let back = decompress(&update).unwrap();
@@ -70,7 +81,10 @@ fn updates_from_different_configs_are_distinguishable() {
 #[test]
 fn stats_sizes_are_consistent_with_the_wire_format() {
     let sd = model_like_dict(4, 5);
-    let cfg = FedSzConfig { threshold: 128, ..FedSzConfig::default() };
+    let cfg = FedSzConfig {
+        threshold: 128,
+        ..FedSzConfig::default()
+    };
     let (update, stats) = compress_with_stats(&sd, &cfg);
     let payload_total: usize = stats.entries.iter().map(|e| e.compressed).sum();
     // Frame headers cost a little beyond raw payloads, but only a little.
@@ -101,7 +115,10 @@ fn mixed_codec_matrix_on_awkward_tensor_sizes() {
     // below and above the threshold, through three codec pairs.
     let mut rng = SplitMix64::new(5);
     let mut sd = StateDict::new();
-    for (i, n) in [1usize, 2, 3, 127, 131, 255, 257, 8191].into_iter().enumerate() {
+    for (i, n) in [1usize, 2, 3, 127, 131, 255, 257, 8191]
+        .into_iter()
+        .enumerate()
+    {
         let data: Vec<f32> = (0..n).map(|_| rng.normal_with(0.0, 1.0) as f32).collect();
         sd.insert(
             format!("t{i}.weight"),

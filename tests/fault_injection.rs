@@ -1,18 +1,31 @@
-//! Failure injection across the wire format: flipped bits, truncations,
-//! hostile headers. The server must reject — or at minimum never panic on —
-//! any corrupted client update.
+//! Failure injection across the wire format and the transport: flipped
+//! bits, truncations, hostile headers, plus corrupt / dead / straggling
+//! clients driven by a [`FaultPlan`]. The server must reject — or at
+//! minimum never panic on — any corrupted client update, and must complete
+//! every round over the surviving quorum.
+
+use std::time::Duration;
 
 use fedsz::{compress, decompress, CompressedUpdate, FedSzConfig};
+use fedsz_fl::{run_threaded_with, FaultPlan, FlConfig, FlError, TransportConfig};
 use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
 
 fn sample_update() -> CompressedUpdate {
     let mut rng = SplitMix64::new(1);
     let mut sd = StateDict::new();
-    let w: Vec<f32> = (0..5000).map(|_| rng.normal_with(0.0, 0.05) as f32).collect();
+    let w: Vec<f32> = (0..5000)
+        .map(|_| rng.normal_with(0.0, 0.05) as f32)
+        .collect();
     sd.insert("fc.weight", TensorKind::Weight, Tensor::from_vec(w));
     let b: Vec<f32> = (0..32).map(|_| rng.normal_with(0.0, 0.01) as f32).collect();
     sd.insert("fc.bias", TensorKind::Bias, Tensor::from_vec(b));
-    compress(&sd, &FedSzConfig { threshold: 128, ..FedSzConfig::default() })
+    compress(
+        &sd,
+        &FedSzConfig {
+            threshold: 128,
+            ..FedSzConfig::default()
+        },
+    )
 }
 
 #[test]
@@ -21,13 +34,19 @@ fn every_prefix_truncation_is_handled() {
     for cut in 0..bytes.len().min(200) {
         let update = CompressedUpdate::from_bytes(bytes[..cut].to_vec());
         // Must not panic; error expected for any strict prefix.
-        assert!(decompress(&update).is_err(), "prefix of {cut} bytes accepted");
+        assert!(
+            decompress(&update).is_err(),
+            "prefix of {cut} bytes accepted"
+        );
     }
     // Coarser sweep over the long tail.
     let mut cut = 200;
     while cut < bytes.len() {
         let update = CompressedUpdate::from_bytes(bytes[..cut].to_vec());
-        assert!(decompress(&update).is_err(), "prefix of {cut} bytes accepted");
+        assert!(
+            decompress(&update).is_err(),
+            "prefix of {cut} bytes accepted"
+        );
         cut += 997;
     }
 }
@@ -74,6 +93,38 @@ fn valid_magic_with_hostile_lengths_is_rejected() {
 }
 
 #[test]
+fn overflowing_frame_lengths_are_rejected_not_panicked() {
+    // A hostile varint length must not overflow `pos + len` (a panic in
+    // debug builds before the checked_add fix). Build a stream with a valid
+    // header claiming a name of usize::MAX bytes, and another claiming a
+    // payload of usize::MAX bytes behind an otherwise valid frame prefix.
+    let sample = sample_update().into_bytes();
+    let (lossy_tag, lossless_tag) = (sample[4], sample[5]);
+
+    let mut hostile_name = Vec::new();
+    hostile_name.extend_from_slice(b"FSZ1");
+    hostile_name.push(lossy_tag);
+    hostile_name.push(lossless_tag);
+    fedsz_entropy::varint::write_usize(&mut hostile_name, 1); // one entry
+    fedsz_entropy::varint::write_usize(&mut hostile_name, usize::MAX); // name length
+    assert!(decompress(&CompressedUpdate::from_bytes(hostile_name)).is_err());
+
+    let mut hostile_payload = Vec::new();
+    hostile_payload.extend_from_slice(b"FSZ1");
+    hostile_payload.push(lossy_tag);
+    hostile_payload.push(lossless_tag);
+    fedsz_entropy::varint::write_usize(&mut hostile_payload, 1); // one entry
+    fedsz_entropy::varint::write_usize(&mut hostile_payload, 1); // name length
+    hostile_payload.push(b'w');
+    hostile_payload.push(0); // kind tag: Weight
+    fedsz_entropy::varint::write_usize(&mut hostile_payload, 1); // ndim
+    fedsz_entropy::varint::write_usize(&mut hostile_payload, 4); // dim
+    hostile_payload.push(0); // route tag: lossless
+    fedsz_entropy::varint::write_usize(&mut hostile_payload, usize::MAX); // payload length
+    assert!(decompress(&CompressedUpdate::from_bytes(hostile_payload)).is_err());
+}
+
+#[test]
 fn swapped_payloads_between_entries_fail_cleanly() {
     // Rebuild the update with the lossless codec tag corrupted to a
     // different (valid) codec: frames will not parse under the wrong codec.
@@ -83,4 +134,166 @@ fn swapped_payloads_between_entries_fail_cleanly() {
     let _ = decompress(&CompressedUpdate::from_bytes(bytes));
     // No panic is the contract; rejection is the expected outcome because
     // codec magics differ.
+}
+
+// ---------------------------------------------------------------------------
+// Transport-level fault injection: the server must survive corrupt, dead,
+// and straggling clients, aggregate over the quorum, and account for every
+// failure in the per-round metrics.
+// ---------------------------------------------------------------------------
+
+/// Small, fast FL setup for transport fault scenarios.
+fn fl_cfg(n_clients: usize, rounds: usize) -> FlConfig {
+    FlConfig {
+        dataset: fedsz_dnn::DatasetKind::FashionMnistLike,
+        n_clients,
+        rounds,
+        samples_per_client: 32,
+        test_samples: 48,
+        batch_size: 16,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        seed: 7,
+        ..FlConfig::default()
+    }
+}
+
+#[test]
+fn corrupt_uplink_is_rejected_and_round_completes_on_quorum() {
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().corrupt(1, 1),
+        ..TransportConfig::default()
+    };
+    let result = run_threaded_with(&fl_cfg(4, 3), &tcfg).expect("fl run");
+    assert_eq!(result.rounds.len(), 3);
+    let r1 = &result.rounds[1].faults;
+    assert_eq!(
+        (r1.delivered, r1.rejected, r1.late, r1.dropped),
+        (3, 1, 0, 0)
+    );
+    for round in [0, 2] {
+        let f = &result.rounds[round].faults;
+        assert!(f.is_clean(), "round {round}: {f:?}");
+        assert_eq!(f.delivered, 4);
+    }
+}
+
+#[test]
+fn dead_client_does_not_deadlock_the_server() {
+    let tcfg = TransportConfig {
+        round_deadline: Some(Duration::from_secs(5)),
+        faults: FaultPlan::new().crash(2, 1),
+        ..TransportConfig::default()
+    };
+    let result = run_threaded_with(&fl_cfg(4, 3), &tcfg).expect("fl run");
+    assert_eq!(result.rounds.len(), 3);
+    // Crash round: the client received the broadcast but never answered, so
+    // it runs out the deadline as a straggler.
+    let r1 = &result.rounds[1].faults;
+    assert_eq!((r1.delivered, r1.late, r1.dropped), (3, 1, 0));
+    // Next round: its channel is gone, so it is dropped up front and the
+    // round completes without waiting for the deadline.
+    let r2 = &result.rounds[2].faults;
+    assert_eq!((r2.delivered, r2.late, r2.dropped), (3, 0, 1));
+}
+
+#[test]
+fn straggler_past_the_deadline_is_dropped_and_counted() {
+    let tcfg = TransportConfig {
+        round_deadline: Some(Duration::from_millis(1500)),
+        faults: FaultPlan::new().delay(0, 1, Duration::from_secs(4)),
+        ..TransportConfig::default()
+    };
+    let result = run_threaded_with(&fl_cfg(4, 2), &tcfg).expect("fl run");
+    assert_eq!(result.rounds.len(), 2);
+    assert!(result.rounds[0].faults.is_clean());
+    let r1 = &result.rounds[1].faults;
+    assert_eq!(
+        (r1.delivered, r1.rejected, r1.late, r1.dropped),
+        (3, 0, 1, 0)
+    );
+}
+
+#[test]
+fn quorum_not_met_is_a_typed_error_not_a_panic() {
+    let tcfg = TransportConfig {
+        min_quorum: 2,
+        faults: FaultPlan::new().corrupt(0, 0).corrupt(1, 0),
+        ..TransportConfig::default()
+    };
+    let err = run_threaded_with(&fl_cfg(2, 2), &tcfg).unwrap_err();
+    assert_eq!(
+        err,
+        FlError::QuorumNotMet {
+            round: 0,
+            delivered: 0,
+            required: 2,
+        }
+    );
+}
+
+#[test]
+fn quorum_starved_round_recovers_on_retry() {
+    // Injected faults fire on the first attempt only, so one retry heals a
+    // transient corrupt update.
+    let tcfg = TransportConfig {
+        min_quorum: 2,
+        max_round_retries: 1,
+        faults: FaultPlan::new().corrupt(0, 0),
+        ..TransportConfig::default()
+    };
+    let result = run_threaded_with(&fl_cfg(2, 2), &tcfg).expect("fl run");
+    let r0 = &result.rounds[0].faults;
+    // The rejection on the first attempt stays visible; the retry delivered
+    // a full quorum.
+    assert_eq!((r0.delivered, r0.rejected), (2, 1));
+    assert!(result.rounds[1].faults.is_clean());
+}
+
+#[test]
+fn combined_faults_complete_all_rounds_with_exact_accounting() {
+    // The acceptance scenario: one corrupt update, one dead client, and one
+    // straggler in a single run. Every round completes without panic or
+    // deadlock, aggregation runs over the quorum, and the per-round metrics
+    // report exactly the injected rejected / late / dropped counts.
+    let tcfg = TransportConfig {
+        round_deadline: Some(Duration::from_millis(1500)),
+        faults: FaultPlan::new()
+            .corrupt(1, 0)
+            .crash(2, 1)
+            .delay(3, 3, Duration::from_secs(4)),
+        ..TransportConfig::default()
+    };
+    let result = run_threaded_with(&fl_cfg(4, 4), &tcfg).expect("fl run");
+    assert_eq!(result.rounds.len(), 4);
+
+    let per_round: Vec<(usize, usize, usize, usize)> = result
+        .rounds
+        .iter()
+        .map(|r| {
+            (
+                r.faults.delivered,
+                r.faults.rejected,
+                r.faults.late,
+                r.faults.dropped,
+            )
+        })
+        .collect();
+    assert_eq!(
+        per_round,
+        vec![
+            (3, 1, 0, 0), // corrupt update rejected
+            (3, 0, 1, 0), // crashed client runs out the deadline
+            (3, 0, 0, 1), // dead channel dropped up front
+            (2, 0, 1, 1), // straggler late, dead client still dropped
+        ]
+    );
+    // Aggregation kept the model learning on the quorum.
+    assert!(
+        result.final_accuracy() > 0.15,
+        "{}",
+        result.final_accuracy()
+    );
+    let total = result.fault_summary();
+    assert_eq!(total.rejected, 1);
+    assert_eq!(total.late, 2);
 }

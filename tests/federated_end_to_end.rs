@@ -19,7 +19,7 @@ fn fedsz_cuts_wire_bytes_by_the_papers_factor() {
         compression: FlConfig::with_fedsz(1e-2).compression,
         ..quick_cfg()
     };
-    let result = fedsz_fl::run(&cfg);
+    let result = fedsz_fl::run(&cfg).expect("fl run");
     for r in &result.rounds {
         // Table V decade: ≥4x on every round's updates.
         assert!(
@@ -33,11 +33,12 @@ fn fedsz_cuts_wire_bytes_by_the_papers_factor() {
 
 #[test]
 fn simulated_10mbps_transfer_saves_an_order_of_magnitude() {
-    let base = fedsz_fl::run(&quick_cfg());
+    let base = fedsz_fl::run(&quick_cfg()).expect("fl run");
     let fedsz = fedsz_fl::run(&FlConfig {
         compression: FlConfig::with_fedsz(1e-2).compression,
         ..quick_cfg()
-    });
+    })
+    .expect("fl run");
     let bw = Bandwidth::mbps(10.0);
     let t_base = bw.transfer_seconds(base.rounds[0].bytes_on_wire);
     let r = &fedsz.rounds[0];
@@ -53,7 +54,8 @@ fn eqn1_holds_for_measured_fl_updates_at_edge_bandwidth() {
     let fedsz = fedsz_fl::run(&FlConfig {
         compression: FlConfig::with_fedsz(1e-2).compression,
         ..quick_cfg()
-    });
+    })
+    .expect("fl run");
     let r = &fedsz.rounds[0];
     let per_client_raw = r.bytes_uncompressed / fedsz.n_clients;
     let per_client_wire = r.bytes_on_wire / fedsz.n_clients;
@@ -82,7 +84,7 @@ fn all_archs_run_with_compression_on_all_datasets() {
                 compression: FlConfig::with_fedsz(1e-2).compression,
                 ..FlConfig::default()
             };
-            let result = fedsz_fl::run(&cfg);
+            let result = fedsz_fl::run(&cfg).expect("fl run");
             assert_eq!(result.rounds.len(), 1, "{arch:?}/{dataset:?}");
             assert!(
                 result.rounds[0].compression_ratio() > 1.5,

@@ -47,7 +47,8 @@ fn every_lossy_codec_survives_the_full_pipeline() {
             lossy,
             ..FedSzConfig::with_rel_bound(1e-2)
         };
-        let restored = decompress(&compress(&sd, &cfg)).unwrap_or_else(|e| panic!("{}: {e}", lossy.name()));
+        let restored =
+            decompress(&compress(&sd, &cfg)).unwrap_or_else(|e| panic!("{}: {e}", lossy.name()));
         assert_eq!(restored.num_params(), sd.num_params(), "{}", lossy.name());
     }
 }

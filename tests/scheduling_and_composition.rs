@@ -25,7 +25,8 @@ fn scheduled_bounds_change_per_round_ratios() {
             threshold: SMALL_MODEL_THRESHOLD,
             ..FedSzConfig::with_rel_bound(schedule.bound_at(round))
         })
-    });
+    })
+    .expect("fl run");
     // Coarse rounds must compress much harder than fine rounds.
     let coarse_ratio = result.rounds[0].compression_ratio();
     let fine_ratio = result.rounds[3].compression_ratio();
@@ -42,7 +43,8 @@ fn schedule_none_disables_compression_for_a_round() {
             threshold: SMALL_MODEL_THRESHOLD,
             ..FedSzConfig::with_rel_bound(1e-2)
         })
-    });
+    })
+    .expect("fl run");
     assert_eq!(
         result.rounds[0].bytes_on_wire,
         result.rounds[0].bytes_uncompressed
@@ -63,7 +65,8 @@ fn decaying_schedule_still_learns() {
             threshold: SMALL_MODEL_THRESHOLD,
             ..FedSzConfig::with_rel_bound(schedule.bound_at(round))
         })
-    });
+    })
+    .expect("fl run");
     assert!(
         result.final_accuracy() > 0.25,
         "accuracy {}",
@@ -85,11 +88,8 @@ fn topk_composition_round_trips_real_model_updates() {
             continue;
         }
         let sparse = TopK::new(0.2).sparsify(e.tensor.data());
-        let bytes = sparse.to_composed_bytes(
-            LossyKind::Sz2,
-            ErrorBound::Rel(1e-2),
-            LosslessKind::BloscLz,
-        );
+        let bytes =
+            sparse.to_composed_bytes(LossyKind::Sz2, ErrorBound::Rel(1e-2), LosslessKind::BloscLz);
         let back = fedsz::SparseUpdate::from_composed_bytes(&bytes).unwrap();
         assert_eq!(back.indices, sparse.indices, "{}", e.name);
         let dense = back.densify();
