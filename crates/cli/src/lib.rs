@@ -208,6 +208,40 @@ pub fn cmd_inspect(input: &Path, threshold: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Which FL transport the `fl` subcommand drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlTransport {
+    /// Single-process simulation loop (Rayon-parallel clients).
+    InProcess,
+    /// One OS thread per client, serialized updates over channels.
+    Threaded,
+    /// Framed, CRC-checked wire protocol over real TCP sockets.
+    Tcp,
+}
+
+impl FlTransport {
+    /// Human-readable name for report headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlTransport::InProcess => "in-process",
+            FlTransport::Threaded => "threaded",
+            FlTransport::Tcp => "tcp",
+        }
+    }
+}
+
+/// Parse a transport name as the tool accepts it.
+pub fn parse_transport(name: &str) -> Result<FlTransport, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "in-process" | "inprocess" | "sim" => Ok(FlTransport::InProcess),
+        "threaded" | "threads" => Ok(FlTransport::Threaded),
+        "tcp" => Ok(FlTransport::Tcp),
+        other => Err(CliError::Usage(format!(
+            "unknown transport {other:?} (expected in-process | threaded | tcp)"
+        ))),
+    }
+}
+
 /// Options for the `fl` subcommand.
 #[derive(Debug, Clone)]
 pub struct FlOpts {
@@ -219,11 +253,25 @@ pub struct FlOpts {
     pub samples: usize,
     /// FedSZ relative error bound; `None` = uncompressed updates.
     pub rel: Option<f64>,
-    /// Run the threaded (one OS thread per client) transport instead of the
-    /// in-process simulation loop.
-    pub threaded: bool,
-    /// Per-round deadline in milliseconds (threaded transport only).
+    /// Which transport carries the updates.
+    pub transport: FlTransport,
+    /// TCP server role: bind this address and wait for remote clients.
+    /// Without `listen` or `connect`, `--transport tcp` runs the server
+    /// and all clients in this process over loopback.
+    pub listen: Option<String>,
+    /// TCP client role: join the server at this address.
+    pub connect: Option<String>,
+    /// Which client slot this process serves (TCP client role).
+    pub client_id: Option<usize>,
+    /// Per-round deadline in milliseconds (threaded and tcp transports).
     pub deadline_ms: Option<u64>,
+    /// Client-side idle timeout in milliseconds: a client exits once the
+    /// server has been silent this long.
+    pub idle_timeout_ms: Option<u64>,
+    /// First TCP reconnect delay in milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Ceiling on the TCP reconnect delay in milliseconds.
+    pub backoff_max_ms: u64,
     /// Minimum valid updates per round before aggregating.
     pub min_quorum: usize,
     /// Retries for a quorum-starved round before aborting.
@@ -239,8 +287,14 @@ impl Default for FlOpts {
             clients: 4,
             samples: 96,
             rel: Some(1e-2),
-            threaded: false,
+            transport: FlTransport::InProcess,
+            listen: None,
+            connect: None,
+            client_id: None,
             deadline_ms: None,
+            idle_timeout_ms: None,
+            backoff_base_ms: 25,
+            backoff_max_ms: 1000,
             min_quorum: 1,
             retries: 0,
             seed: 42,
@@ -251,7 +305,8 @@ impl Default for FlOpts {
 /// `fl`: run a federated session and print per-round accuracy, compression,
 /// and participation (delivered / rejected / late / dropped clients).
 pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
-    use fedsz_fl::{FlConfig, TransportConfig};
+    use fedsz_fl::{FlConfig, NetConfig, TransportConfig};
+    use std::time::Duration;
 
     if opts.clients == 0 || opts.rounds == 0 {
         return Err(CliError::Usage(
@@ -271,6 +326,24 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             )));
         }
     }
+    if opts.transport != FlTransport::Tcp
+        && (opts.listen.is_some() || opts.connect.is_some() || opts.client_id.is_some())
+    {
+        return Err(CliError::Usage(
+            "--listen/--connect/--client-id require --transport tcp".into(),
+        ));
+    }
+    if opts.listen.is_some() && opts.connect.is_some() {
+        return Err(CliError::Usage(
+            "--listen and --connect are mutually exclusive".into(),
+        ));
+    }
+    if opts.backoff_base_ms == 0 || opts.backoff_max_ms < opts.backoff_base_ms {
+        return Err(CliError::Usage(format!(
+            "backoff must satisfy 0 < --backoff-base-ms <= --backoff-max-ms, got {} and {}",
+            opts.backoff_base_ms, opts.backoff_max_ms
+        )));
+    }
     let cfg = FlConfig {
         rounds: opts.rounds,
         n_clients: opts.clients,
@@ -282,16 +355,40 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         seed: opts.seed,
         ..FlConfig::default()
     };
-    let result = if opts.threaded {
-        let tcfg = TransportConfig {
-            round_deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
-            min_quorum: opts.min_quorum,
-            max_round_retries: opts.retries,
-            ..TransportConfig::default()
-        };
-        fedsz_fl::run_threaded_with(&cfg, &tcfg)
-    } else {
-        fedsz_fl::run(&cfg)
+    let idle = opts.idle_timeout_ms.map(Duration::from_millis);
+    let tcfg = TransportConfig {
+        round_deadline: opts.deadline_ms.map(Duration::from_millis),
+        min_quorum: opts.min_quorum,
+        max_round_retries: opts.retries,
+        client_idle_timeout: idle,
+        ..TransportConfig::default()
+    };
+    let ncfg = NetConfig {
+        backoff_base: Duration::from_millis(opts.backoff_base_ms),
+        backoff_max: Duration::from_millis(opts.backoff_max_ms),
+        ..NetConfig::default()
+    };
+
+    // TCP client role: participate and exit; the server prints the report.
+    if let Some(addr) = &opts.connect {
+        let id = opts
+            .client_id
+            .ok_or_else(|| CliError::Usage("--connect requires --client-id".into()))?;
+        fedsz_fl::run_tcp_client(addr, id, &cfg, idle, &ncfg)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        return Ok(format!(
+            "client {id} finished against {addr} ({} clients x {} samples, seed {})",
+            opts.clients, opts.samples, opts.seed
+        ));
+    }
+
+    let result = match opts.transport {
+        FlTransport::InProcess => fedsz_fl::run(&cfg),
+        FlTransport::Threaded => fedsz_fl::run_threaded_with(&cfg, &tcfg),
+        FlTransport::Tcp => match &opts.listen {
+            Some(addr) => fedsz_fl::serve_tcp(addr, &cfg, &tcfg, &ncfg),
+            None => fedsz_fl::run_tcp_with(&cfg, &tcfg, &ncfg),
+        },
     }
     .map_err(|e| CliError::Run(e.to_string()))?;
 
@@ -299,11 +396,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "{} transport, {} clients x {} samples, {} rounds, {}",
-        if opts.threaded {
-            "threaded"
-        } else {
-            "in-process"
-        },
+        opts.transport.name(),
         opts.clients,
         opts.samples,
         opts.rounds,
@@ -314,16 +407,26 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "{:>5} {:>9} {:>8} {:>9} {:>9} {:>5} {:>8}",
-        "round", "accuracy", "ratio", "delivered", "rejected", "late", "dropped"
+        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>5} {:>8}",
+        "round",
+        "accuracy",
+        "ratio",
+        "up_kB",
+        "down_kB",
+        "delivered",
+        "rejected",
+        "late",
+        "dropped"
     );
     for r in &result.rounds {
         let _ = writeln!(
             out,
-            "{:>5} {:>8.1}% {:>7.2}x {:>9} {:>9} {:>5} {:>8}",
+            "{:>5} {:>8.1}% {:>7.2}x {:>8.1} {:>8.1} {:>9} {:>9} {:>5} {:>8}",
             r.round,
             100.0 * r.accuracy,
             r.compression_ratio(),
+            r.bytes_on_wire as f64 / 1e3,
+            r.bytes_down_wire as f64 / 1e3,
             r.faults.delivered,
             r.faults.rejected,
             r.faults.late,
@@ -333,8 +436,11 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let f = result.fault_summary();
     let _ = writeln!(
         out,
-        "final accuracy {:.1}%; participation: {} delivered, {} rejected, {} late, {} dropped",
+        "final accuracy {:.1}%; wire: {:.1} kB up, {:.1} kB down; \
+         participation: {} delivered, {} rejected, {} late, {} dropped",
         100.0 * result.final_accuracy(),
+        result.total_bytes_up() as f64 / 1e3,
+        result.total_bytes_down() as f64 / 1e3,
         f.delivered,
         f.rejected,
         f.late,
@@ -430,7 +536,7 @@ mod tests {
         let opts = FlOpts {
             rounds: 2,
             samples: 48,
-            threaded: true,
+            transport: FlTransport::Threaded,
             deadline_ms: Some(30_000),
             ..FlOpts::default()
         };
@@ -438,11 +544,28 @@ mod tests {
         assert!(report.contains("threaded transport"), "{report}");
         assert!(report.contains("delivered"), "{report}");
         assert!(report.contains("final accuracy"), "{report}");
+        assert!(report.contains("down_kB"), "{report}");
         // Two round rows, one per round index.
         assert!(
             report.contains("\n    0 ") && report.contains("\n    1 "),
             "{report}"
         );
+    }
+
+    #[test]
+    fn fl_subcommand_runs_tcp_loopback() {
+        let opts = FlOpts {
+            rounds: 1,
+            clients: 2,
+            samples: 32,
+            transport: FlTransport::Tcp,
+            ..FlOpts::default()
+        };
+        let report = cmd_fl(&opts).unwrap();
+        assert!(report.contains("tcp transport"), "{report}");
+        // The downlink broadcast is real bytes over the socket now.
+        assert!(report.contains("kB down"), "{report}");
+        assert!(!report.contains("0.0 kB down"), "{report}");
     }
 
     #[test]
@@ -469,6 +592,48 @@ mod tests {
             }),
             Err(CliError::Usage(_))
         ));
+        // Socket roles require the tcp transport.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                listen: Some("127.0.0.1:0".into()),
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        // A client role must name its slot.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                transport: FlTransport::Tcp,
+                connect: Some("127.0.0.1:1".into()),
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        // Server and client role at once is contradictory.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                transport: FlTransport::Tcp,
+                listen: Some("127.0.0.1:0".into()),
+                connect: Some("127.0.0.1:1".into()),
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                backoff_base_ms: 0,
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn transport_parser_accepts_aliases_and_rejects_junk() {
+        assert_eq!(parse_transport("TCP").unwrap(), FlTransport::Tcp);
+        assert_eq!(parse_transport("sim").unwrap(), FlTransport::InProcess);
+        assert_eq!(parse_transport("threads").unwrap(), FlTransport::Threaded);
+        assert!(parse_transport("udp").is_err());
     }
 
     #[test]

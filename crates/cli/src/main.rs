@@ -8,8 +8,15 @@
 //! fedsz-tool inspect    --in update.fsz [--threshold 2048]
 //! fedsz-tool verify     --reference model.fsd --in restored.fsd
 //! fedsz-tool fl         [--rounds N] [--clients N] [--samples N] [--rel 1e-2 | --uncompressed]
-//!                       [--threaded] [--deadline-ms D] [--min-quorum Q] [--retries R] [--seed S]
+//!                       [--transport in-process|threaded|tcp] [--deadline-ms D] [--min-quorum Q]
+//!                       [--retries R] [--seed S] [--idle-timeout-ms I]
+//!                       [--listen HOST:PORT | --connect HOST:PORT --client-id N]
+//!                       [--backoff-base-ms B] [--backoff-max-ms M]
 //! ```
+//!
+//! `--threaded` is a legacy alias for `--transport threaded`. With
+//! `--transport tcp` and neither `--listen` nor `--connect`, the server and
+//! every client run in this process over loopback.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -98,13 +105,25 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
             } else {
                 Some(opts.parsed_or("--rel", 1e-2)?)
             };
+            let transport = match opts.value("--transport") {
+                Some(name) => parse_transport(name)?,
+                // Legacy alias from before the transport was selectable.
+                None if opts.flag("--threaded") => FlTransport::Threaded,
+                None => defaults.transport,
+            };
             let fl = FlOpts {
                 rounds: opts.parsed_or("--rounds", defaults.rounds)?,
                 clients: opts.parsed_or("--clients", defaults.clients)?,
                 samples: opts.parsed_or("--samples", defaults.samples)?,
                 rel,
-                threaded: opts.flag("--threaded"),
+                transport,
+                listen: opts.value("--listen").map(str::to_owned),
+                connect: opts.value("--connect").map(str::to_owned),
+                client_id: opts.parsed_opt("--client-id")?,
                 deadline_ms: opts.parsed_opt("--deadline-ms")?,
+                idle_timeout_ms: opts.parsed_opt("--idle-timeout-ms")?,
+                backoff_base_ms: opts.parsed_or("--backoff-base-ms", defaults.backoff_base_ms)?,
+                backoff_max_ms: opts.parsed_or("--backoff-max-ms", defaults.backoff_max_ms)?,
                 min_quorum: opts.parsed_or("--min-quorum", defaults.min_quorum)?,
                 retries: opts.parsed_or("--retries", defaults.retries)?,
                 seed: opts.parsed_or("--seed", defaults.seed)?,

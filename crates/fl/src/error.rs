@@ -30,6 +30,10 @@ pub enum FlError {
     /// An update failed to decode on the in-process (non-threaded) path,
     /// where there is no per-client quorum to fall back on.
     Codec(CodecError),
+    /// The TCP transport could not start or keep the session alive:
+    /// binding the listener failed, no client joined within the join
+    /// timeout, or a client-side option was invalid.
+    Transport(String),
 }
 
 impl std::fmt::Display for FlError {
@@ -47,6 +51,7 @@ impl std::fmt::Display for FlError {
                 write!(f, "round {round}: all clients disconnected")
             }
             FlError::Codec(e) => write!(f, "update decode failed: {e}"),
+            FlError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }

@@ -20,6 +20,24 @@ pub enum FaultKind {
     /// The client delays its uplink by this much before sending; with a
     /// round deadline shorter than the delay it is counted late.
     Delay(Duration),
+    /// Wire-level: the client sends only the first half of its update frame
+    /// and then drops the connection. Over TCP the server observes a
+    /// mid-frame EOF (counted `rejected`) and the client rejoins at the
+    /// next broadcast via backoff; over channels the truncated payload is a
+    /// decode failure (`rejected`) on an otherwise healthy client.
+    TruncateFrame,
+    /// Wire-level: flip this many bytes of the update *after* the checksum
+    /// is computed. Over TCP the flips land inside the frame body so the
+    /// framing survives, the CRC-32 fails, and the frame is `rejected`
+    /// without losing the connection; over channels the flipped prefix
+    /// breaks the FedSZ magic, a guaranteed decode failure.
+    FlipBytes(usize),
+    /// Wire-level: the client closes its connection mid-round without
+    /// sending, then reconnects with exponential backoff and rejoins at the
+    /// next round's broadcast (counted `late` for the round it skipped).
+    /// Over channels — which cannot be re-opened — this degenerates to
+    /// [`FaultKind::Crash`].
+    Disconnect,
 }
 
 /// One planned fault: `client` misbehaves in `round`.
@@ -81,6 +99,37 @@ impl FaultPlan {
         self
     }
 
+    /// Plan `client` to send a truncated update frame in `round`.
+    pub fn truncate_frame(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::TruncateFrame,
+        });
+        self
+    }
+
+    /// Plan `client` to flip `n` post-checksum bytes of its `round` update.
+    pub fn flip_bytes(mut self, client: usize, round: usize, n: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::FlipBytes(n),
+        });
+        self
+    }
+
+    /// Plan `client` to drop its connection in `round` and rejoin via
+    /// backoff at the next broadcast.
+    pub fn disconnect(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::Disconnect,
+        });
+        self
+    }
+
     /// The fault planned for `(client, round)`, if any. The first matching
     /// spec wins.
     pub fn fault_for(&self, client: usize, round: usize) -> Option<FaultKind> {
@@ -138,5 +187,17 @@ mod tests {
     fn first_matching_spec_wins() {
         let plan = FaultPlan::new().corrupt(0, 0).crash(0, 0);
         assert_eq!(plan.fault_for(0, 0), Some(FaultKind::Corrupt));
+    }
+
+    #[test]
+    fn wire_fault_builders_accumulate() {
+        let plan = FaultPlan::new()
+            .truncate_frame(0, 1)
+            .flip_bytes(1, 2, 16)
+            .disconnect(2, 3);
+        assert_eq!(plan.fault_for(0, 1), Some(FaultKind::TruncateFrame));
+        assert_eq!(plan.fault_for(1, 2), Some(FaultKind::FlipBytes(16)));
+        assert_eq!(plan.fault_for(2, 3), Some(FaultKind::Disconnect));
+        assert_eq!(plan.len(), 3);
     }
 }

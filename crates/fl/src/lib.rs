@@ -10,22 +10,30 @@
 //! recorded per round.
 
 //!
-//! The threaded transport ([`transport`]) is fault-tolerant: corrupt,
-//! dead, and straggling clients are counted per round
-//! ([`RoundMetrics::faults`]) and excluded from the aggregate, which runs
-//! over the quorum of valid on-time updates. [`fault::FaultPlan`] injects
-//! such failures deterministically, and [`error::FlError`] is the typed
-//! alternative to the server panicking.
+//! The transports are fault-tolerant: corrupt, dead, and straggling
+//! clients are counted per round ([`RoundMetrics::faults`]) and excluded
+//! from the aggregate, which runs over the quorum of valid on-time
+//! updates. [`fault::FaultPlan`] injects such failures deterministically,
+//! and [`error::FlError`] is the typed alternative to the server
+//! panicking. The server round loop is generic over a transport: the
+//! channel-backed threaded transport ([`transport`]) and the socket-backed
+//! TCP transport ([`net`]) — which speaks the length-prefixed,
+//! CRC-32-checked frames of [`wire`] and gives clients reconnect with
+//! exponential backoff — run identical round semantics and, with the same
+//! seeds, produce bit-identical accuracies.
 
 pub mod aggregate;
 pub mod error;
 pub mod fault;
+pub mod net;
 pub mod partition;
 pub mod session;
 pub mod transport;
+pub mod wire;
 
 pub use aggregate::fedavg;
 pub use error::FlError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use net::{run_tcp, run_tcp_client, run_tcp_with, serve_tcp, NetConfig};
 pub use session::{run, run_scheduled, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD};
 pub use transport::{run_threaded, run_threaded_with, TransportConfig};

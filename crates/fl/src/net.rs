@@ -1,0 +1,890 @@
+//! Socket-backed FL transport: the framed, CRC-checked wire protocol of
+//! [`crate::wire`] over real TCP, with client reconnect and backoff.
+//!
+//! The server side implements [`ServerTransport`], so the round loop —
+//! broadcast → collect under a deadline → quorum/retry → FedAvg — is the
+//! *same code* ([`crate::transport::serve`]) that drives the channel
+//! transport; only the byte-moving differs. The pieces:
+//!
+//! * An **acceptor thread** owns the listener. Each accepted connection is
+//!   handshaken (the client's first frame must be a [`Frame::Hello`] naming
+//!   its slot) on a short-lived thread and then handed to the server as a
+//!   `Joined` event.
+//! * A **reader thread per connection** decodes uplink frames. Frames with
+//!   a bad CRC or body stay on the connection (the length prefix keeps the
+//!   stream framed) and surface as `Garbage` — counted `rejected`, exactly
+//!   like a corrupt in-process payload. A mid-frame EOF or stall is
+//!   `Garbage` + `Gone`; a clean close is just `Gone`.
+//! * **Generation counters** per slot make reconnects race-free: control
+//!   events (`Garbage`/`Gone`) from a replaced connection are discarded,
+//!   while genuine `Update` messages are never filtered by generation —
+//!   the round/attempt check in the collect loop already handles
+//!   staleness.
+//! * Clients **reconnect with exponential backoff** (deterministic jitter)
+//!   whenever the socket dies, and a rejoining client is served again from
+//!   the next broadcast. The server grants each lost slot one bounded
+//!   **rejoin grace** before a broadcast, so a quick reconnect does not
+//!   cost a round — and a permanently dead client stalls at most one
+//!   broadcast, not every one.
+//!
+//! [`run_tcp`] runs server and clients in one process over loopback and is
+//! bit-identical (same seeds) to [`run_threaded`](crate::run_threaded) and
+//! [`session::run`](crate::session::run); [`serve_tcp`] / [`run_tcp_client`]
+//! are the split server/client entry points the CLI exposes for genuinely
+//! distributed runs.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use fedsz_tensor::SplitMix64;
+
+use crate::error::FlError;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::session::{FlConfig, FlRunResult};
+use crate::transport::{
+    broadcast_config, local_round, serve, setup_data, BroadcastOutcome, ClientMsg, RecvEnd,
+    ServerTransport, TransportConfig, Uplink,
+};
+use crate::wire::{self, Frame, WireError};
+
+/// How often a blocked socket read wakes up to check deadlines and the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Socket-level policy for the TCP transport. Round semantics (deadline,
+/// quorum, retries, faults) stay in [`TransportConfig`]; this covers only
+/// what a real network adds: joining, reconnecting, and stalling.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How long the server waits for clients to join before round 0. The
+    /// run starts as soon as all `n_clients` slots are filled; clients
+    /// still missing when the timeout expires are treated as dropped.
+    pub join_timeout: Duration,
+    /// How long a broadcast waits for a disconnected client to rejoin.
+    /// Granted at most once per disconnection, so a permanently dead
+    /// client delays one broadcast, not every one.
+    pub rejoin_grace: Duration,
+    /// First reconnect delay; doubles per failed attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff delay.
+    pub backoff_max: Duration,
+    /// Reconnect attempts per disconnection before the client gives up.
+    pub max_reconnects: usize,
+    /// Budget for finishing a frame once its first byte arrived; a peer
+    /// that stalls longer mid-frame is treated as corrupt + gone.
+    pub frame_budget: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            join_timeout: Duration::from_secs(30),
+            rejoin_grace: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            max_reconnects: 5,
+            frame_budget: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter: `base * 2^attempt`
+/// capped at `max`, plus up to 25% jitter drawn from a seeded PRNG (so two
+/// clients hammered off the same server do not reconnect in lockstep, yet
+/// tests replay identically).
+pub(crate) struct Backoff {
+    base: Duration,
+    max: Duration,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    pub(crate) fn new(base: Duration, max: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            max,
+            attempt: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Delay before the next reconnect attempt.
+    pub(crate) fn next_delay(&mut self) -> Duration {
+        let doubling = 1u32.checked_shl(self.attempt).unwrap_or(u32::MAX);
+        let raw = self.base.saturating_mul(doubling).min(self.max);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter = (self.rng.next_u64() % 1024) as f64 / 1024.0;
+        raw + raw.mul_f64(0.25 * jitter)
+    }
+
+    /// Back to the base delay (call after a successful connection).
+    pub(crate) fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Uplink-side events merged from the acceptor and all reader threads.
+enum Event {
+    /// A connection completed its Hello handshake for this slot.
+    Joined { client_id: usize, stream: TcpStream },
+    /// A structurally valid update frame.
+    Update(ClientMsg),
+    /// A frame this connection sent failed wire-level validation.
+    Garbage { client_id: usize, gen: u64 },
+    /// This connection is no longer readable.
+    Gone { client_id: usize, gen: u64 },
+}
+
+/// One client slot: the live connection (if any), a generation counter
+/// that invalidates events from replaced connections, and whether the slot
+/// is still owed its one rejoin grace.
+struct Slot {
+    stream: Option<TcpStream>,
+    gen: u64,
+    grace_owed: bool,
+}
+
+/// Server half of the TCP transport. Implements [`ServerTransport`] so
+/// [`serve`] can drive it exactly like the channel transport.
+struct TcpServer {
+    slots: Vec<Slot>,
+    events_rx: Receiver<Event>,
+    events_tx: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    ncfg: NetConfig,
+    stopped: bool,
+}
+
+impl TcpServer {
+    fn start(listener: TcpListener, n_clients: usize, ncfg: NetConfig) -> Result<Self, FlError> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| FlError::Transport(format!("listener nonblocking: {e}")))?;
+        let (events_tx, events_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let tx = events_tx.clone();
+            let stop = Arc::clone(&shutdown);
+            std::thread::spawn(move || acceptor_loop(listener, tx, stop))
+        };
+        Ok(Self {
+            slots: (0..n_clients)
+                .map(|_| Slot {
+                    stream: None,
+                    gen: 0,
+                    grace_owed: false,
+                })
+                .collect(),
+            events_rx,
+            events_tx,
+            shutdown,
+            acceptor: Some(acceptor),
+            readers: Vec::new(),
+            ncfg,
+            stopped: false,
+        })
+    }
+
+    fn installed(&self) -> usize {
+        self.slots.iter().filter(|s| s.stream.is_some()).count()
+    }
+
+    /// Adopt a handshaken connection into its slot, replacing (and
+    /// shutting down) any previous connection there.
+    fn install(&mut self, client_id: usize, stream: TcpStream) {
+        let Some(slot) = self.slots.get_mut(client_id) else {
+            let _ = stream.shutdown(Shutdown::Both); // unknown slot: reject
+            return;
+        };
+        if let Some(old) = slot.stream.take() {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(POLL)).is_err() {
+            return; // unusable socket; the client will retry
+        }
+        let Ok(reader) = stream.try_clone() else {
+            return;
+        };
+        slot.gen += 1;
+        slot.grace_owed = false;
+        slot.stream = Some(stream);
+        let tx = self.events_tx.clone();
+        let stop = Arc::clone(&self.shutdown);
+        let gen = slot.gen;
+        let budget = self.ncfg.frame_budget;
+        self.readers.push(std::thread::spawn(move || {
+            reader_loop(reader, client_id, gen, budget, tx, stop)
+        }));
+    }
+
+    /// Is this `(client_id, gen)` the currently installed connection?
+    fn current(&self, client_id: usize, gen: u64) -> bool {
+        self.slots
+            .get(client_id)
+            .is_some_and(|s| s.stream.is_some() && s.gen == gen)
+    }
+
+    fn uninstall(&mut self, client_id: usize) {
+        if let Some(slot) = self.slots.get_mut(client_id) {
+            if let Some(stream) = slot.stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            slot.grace_owed = true;
+        }
+    }
+
+    /// Handle an event outside the collect loop (joining, leaving). Data
+    /// events are dropped here: between rounds every update or broken
+    /// frame is stale and was already accounted when it ran late.
+    fn process_control(&mut self, ev: Event) {
+        match ev {
+            Event::Joined { client_id, stream } => self.install(client_id, stream),
+            Event::Gone { client_id, gen } => {
+                if self.current(client_id, gen) {
+                    self.uninstall(client_id);
+                }
+            }
+            Event::Update(_) | Event::Garbage { .. } => {}
+        }
+    }
+
+    /// Wait until `want` clients are connected or the timeout passes.
+    fn await_joins(&mut self, want: usize, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        while self.installed() < want {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match self.events_rx.recv_timeout(left) {
+                Ok(ev) => self.process_control(ev),
+                Err(_) => break,
+            }
+        }
+        self.installed()
+    }
+
+    /// Send Stop to every live client, close everything, join the threads.
+    fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        let stop_bytes = wire::encode(&Frame::Stop);
+        for slot in &mut self.slots {
+            if let Some(mut stream) = slot.stream.take() {
+                let _ = wire::write_frame_bytes(&mut stream, &stop_bytes);
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl ServerTransport for TcpServer {
+    fn broadcast(
+        &mut self,
+        round: usize,
+        attempt: usize,
+        model: &fedsz::CompressedUpdate,
+    ) -> BroadcastOutcome {
+        // Adopt rejoins and disconnects that happened between rounds.
+        while let Ok(ev) = self.events_rx.try_recv() {
+            self.process_control(ev);
+        }
+        // Each freshly lost slot gets one bounded chance to rejoin before
+        // it misses a broadcast.
+        if self
+            .slots
+            .iter()
+            .any(|s| s.stream.is_none() && s.grace_owed)
+        {
+            let deadline = Instant::now() + self.ncfg.rejoin_grace;
+            while self
+                .slots
+                .iter()
+                .any(|s| s.stream.is_none() && s.grace_owed)
+            {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                match self.events_rx.recv_timeout(left) {
+                    Ok(ev) => self.process_control(ev),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            for slot in &mut self.slots {
+                if slot.stream.is_none() {
+                    slot.grace_owed = false; // grace spent
+                }
+            }
+        }
+
+        let bytes = wire::encode(&Frame::Broadcast {
+            round,
+            attempt,
+            model: model.clone(),
+        });
+        let mut reached = vec![false; self.slots.len()];
+        let mut bytes_down = 0usize;
+        let mut dead = Vec::new();
+        for (id, flag) in reached.iter_mut().enumerate() {
+            let Some(stream) = self.slots[id].stream.as_mut() else {
+                continue;
+            };
+            match wire::write_frame_bytes(stream, &bytes) {
+                Ok(n) => {
+                    *flag = true;
+                    bytes_down += n;
+                }
+                Err(_) => dead.push(id),
+            }
+        }
+        for id in dead {
+            self.uninstall(id);
+        }
+        BroadcastOutcome {
+            reached,
+            bytes_down,
+        }
+    }
+
+    fn recv(&mut self, cutoff: Option<Instant>) -> Result<Uplink, RecvEnd> {
+        loop {
+            let ev = match cutoff {
+                Some(end) => {
+                    let Some(left) = end.checked_duration_since(Instant::now()) else {
+                        return Err(RecvEnd::Timeout);
+                    };
+                    match self.events_rx.recv_timeout(left) {
+                        Ok(ev) => ev,
+                        Err(RecvTimeoutError::Timeout) => return Err(RecvEnd::Timeout),
+                        Err(RecvTimeoutError::Disconnected) => return Err(RecvEnd::Closed),
+                    }
+                }
+                None => match self.events_rx.recv() {
+                    Ok(ev) => ev,
+                    Err(_) => return Err(RecvEnd::Closed),
+                },
+            };
+            match ev {
+                // Updates are never filtered by generation: a valid update
+                // is a valid update, and the collect loop's round/attempt
+                // check already discards stale ones.
+                Event::Update(msg) => return Ok(Uplink::Msg(msg)),
+                Event::Garbage { client_id, gen } => {
+                    if self.current(client_id, gen) {
+                        return Ok(Uplink::Garbage { client_id });
+                    }
+                }
+                Event::Gone { client_id, gen } => {
+                    if self.current(client_id, gen) {
+                        self.uninstall(client_id);
+                        return Ok(Uplink::Gone { client_id });
+                    }
+                }
+                Event::Joined { client_id, stream } => self.install(client_id, stream),
+            }
+        }
+    }
+}
+
+/// Accept connections and hand each to a short-lived handshake thread
+/// (so one stalling client cannot block later joiners).
+fn acceptor_loop(listener: TcpListener, tx: Sender<Event>, stop: Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || handshake(stream, tx, stop));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Read the Hello frame off a fresh connection; anything else (or a stall
+/// past the handshake budget) rejects the connection.
+fn handshake(mut stream: TcpStream, tx: Sender<Event>, stop: Arc<AtomicBool>) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if stop.load(Ordering::SeqCst) || Instant::now() >= deadline {
+            return;
+        }
+        match wire::read_frame(&mut stream, Duration::from_secs(5)) {
+            Ok(Frame::Hello { client_id }) => {
+                let _ = tx.send(Event::Joined { client_id, stream });
+                return;
+            }
+            Ok(_) => return,           // protocol violation: reject
+            Err(WireError::Idle) => {} // nothing yet; poll again
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode uplink frames from one connection until it dies.
+fn reader_loop(
+    mut stream: TcpStream,
+    client_id: usize,
+    gen: u64,
+    budget: Duration,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match wire::read_frame(&mut stream, budget) {
+            Ok(Frame::Update {
+                round,
+                attempt,
+                client_id: echoed,
+                samples,
+                train_s,
+                compress_s,
+                raw_bytes,
+                payload,
+            }) => {
+                // A frame claiming another client's identity is garbage,
+                // not a message — the handshake owns the slot binding.
+                let ev = if echoed == client_id {
+                    Event::Update(ClientMsg {
+                        client_id,
+                        round,
+                        attempt,
+                        payload,
+                        samples,
+                        train_s,
+                        compress_s,
+                        raw_bytes,
+                    })
+                } else {
+                    Event::Garbage { client_id, gen }
+                };
+                if tx.send(ev).is_err() {
+                    return;
+                }
+            }
+            // A well-formed frame of the wrong kind: protocol violation,
+            // but the stream is still framed — reject and keep reading.
+            Ok(_) => {
+                if tx.send(Event::Garbage { client_id, gen }).is_err() {
+                    return;
+                }
+            }
+            Err(WireError::Idle) => {} // no frame yet; check stop and wait on
+            // Detected corruption with framing intact: reject the frame,
+            // keep the connection.
+            Err(WireError::BadCrc { .. }) | Err(WireError::BadBody(_)) => {
+                if tx.send(Event::Garbage { client_id, gen }).is_err() {
+                    return;
+                }
+            }
+            // Clean close between frames: the client left.
+            Err(WireError::Closed) => {
+                let _ = tx.send(Event::Gone { client_id, gen });
+                return;
+            }
+            // Died or stalled mid-frame, or desynchronised beyond repair:
+            // the half-frame is rejected and the connection is gone.
+            Err(WireError::UnexpectedEof)
+            | Err(WireError::Stalled)
+            | Err(WireError::BadMagic)
+            | Err(WireError::TooLarge(_)) => {
+                let _ = tx.send(Event::Garbage { client_id, gen });
+                let _ = tx.send(Event::Gone { client_id, gen });
+                return;
+            }
+            Err(WireError::Io(_)) => {
+                let _ = tx.send(Event::Gone { client_id, gen });
+                return;
+            }
+        }
+    }
+}
+
+/// Connect (or reconnect) to the server and complete the Hello handshake,
+/// backing off exponentially between attempts.
+fn connect_with_backoff(
+    addr: SocketAddr,
+    client_id: usize,
+    backoff: &mut Backoff,
+    max_attempts: usize,
+) -> Option<TcpStream> {
+    for attempt in 0..=max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff.next_delay());
+        }
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(POLL)).is_err() {
+            continue;
+        }
+        if wire::write_frame(&mut stream, &Frame::Hello { client_id }).is_ok() {
+            backoff.reset();
+            return Some(stream);
+        }
+    }
+    None
+}
+
+/// One TCP client: connect, handshake, then train on every broadcast and
+/// send the update back — reconnecting with backoff when the socket dies,
+/// and exiting cleanly on Stop, on an exhausted reconnect budget, or once
+/// the optional idle timeout expires without a frame from the server.
+fn tcp_client_loop(
+    addr: SocketAddr,
+    id: usize,
+    cfg: &FlConfig,
+    plan: &FaultPlan,
+    idle: Option<Duration>,
+    ncfg: &NetConfig,
+) {
+    let (c, h, _, classes) = cfg.dataset.dims();
+    let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
+    // Every client derives the same deterministic shards from the shared
+    // seed and takes its own — data never crosses the wire.
+    let (_, mut shards) = setup_data(cfg);
+    if id >= shards.len() {
+        return;
+    }
+    let shard = shards.swap_remove(id);
+    let mut backoff = Backoff::new(
+        ncfg.backoff_base,
+        ncfg.backoff_max,
+        cfg.seed ^ 0xBAC0_0FF5 ^ (id as u64),
+    );
+    let Some(mut stream) = connect_with_backoff(addr, id, &mut backoff, ncfg.max_reconnects) else {
+        return;
+    };
+    let mut last_frame = Instant::now();
+    macro_rules! reconnect_or_return {
+        () => {{
+            // Back off before the first reconnect attempt too: it spaces a
+            // deliberate disconnect from the rejoin, so the server has
+            // drained the dead connection's events before the new Hello
+            // arrives and the fault accounting stays deterministic.
+            std::thread::sleep(backoff.next_delay());
+            match connect_with_backoff(addr, id, &mut backoff, ncfg.max_reconnects) {
+                Some(s) => {
+                    stream = s;
+                    last_frame = Instant::now();
+                    continue;
+                }
+                None => return,
+            }
+        }};
+    }
+    loop {
+        let frame = match wire::read_frame(&mut stream, ncfg.frame_budget) {
+            Ok(f) => {
+                last_frame = Instant::now();
+                f
+            }
+            Err(WireError::Idle) => {
+                // The server is silent but the socket is up; give up only
+                // once the idle timeout (if any) has fully elapsed.
+                if idle.is_some_and(|t| last_frame.elapsed() >= t) {
+                    return;
+                }
+                continue;
+            }
+            // Corrupt downlink frame with framing intact: skip it.
+            Err(WireError::BadCrc { .. }) | Err(WireError::BadBody(_)) => continue,
+            // Anything else means this connection is unusable.
+            Err(_) => reconnect_or_return!(),
+        };
+        let (round, attempt, model) = match frame {
+            Frame::Broadcast {
+                round,
+                attempt,
+                model,
+            } => (round, attempt, model),
+            Frame::Stop => return,
+            _ => continue, // server never sends Hello/Update; ignore
+        };
+        let Ok(sd) = fedsz::decompress(&model) else {
+            continue; // corrupt model: wait for the next broadcast
+        };
+        net.load_state_dict(&sd);
+        let out = local_round(&mut net, cfg, &shard, id, round);
+
+        // Faults fire on the first attempt of their round only (matching
+        // the channel transport), so quorum retries see a healthy client.
+        let fault = if attempt == 0 {
+            plan.fault_for(id, round)
+        } else {
+            None
+        };
+        let mut update = Frame::Update {
+            round,
+            attempt,
+            client_id: id,
+            samples: out.samples,
+            train_s: out.train_s,
+            compress_s: out.compress_s,
+            raw_bytes: out.raw_bytes,
+            payload: out.payload,
+        };
+        match fault {
+            Some(FaultKind::Crash) => return,
+            Some(FaultKind::Disconnect) => {
+                // Drop the connection without answering, then rejoin via
+                // backoff: the server counts this round late and serves
+                // the new connection from the next broadcast.
+                let _ = stream.shutdown(Shutdown::Both);
+                reconnect_or_return!();
+            }
+            Some(FaultKind::TruncateFrame) => {
+                // Send half a frame, then die mid-stream: the server sees
+                // an unexpected EOF (rejected) on this connection.
+                let bytes = wire::encode(&update);
+                let half = &bytes[..bytes.len() / 2];
+                let _ = wire::write_frame_bytes(&mut stream, half);
+                let _ = stream.shutdown(Shutdown::Both);
+                reconnect_or_return!();
+            }
+            Some(FaultKind::FlipBytes(n)) => {
+                // Corrupt the body *after* the CRC was computed, leaving
+                // the header intact: the frame arrives whole, fails its
+                // checksum, and is rejected without costing the
+                // connection.
+                let mut bytes = wire::encode(&update);
+                let body = wire::HEADER_LEN..bytes.len().saturating_sub(wire::TRAILER_LEN);
+                let upto = body.start + n.min(body.len());
+                for b in &mut bytes[body.start..upto] {
+                    *b ^= 0xA5;
+                }
+                if wire::write_frame_bytes(&mut stream, &bytes).is_err() {
+                    reconnect_or_return!();
+                }
+            }
+            Some(FaultKind::Corrupt) => {
+                // Corrupt the *payload* before framing: the frame passes
+                // its CRC (the wire is innocent) but FedSZ decoding fails
+                // at the server — the in-process Corrupt semantics.
+                if let Frame::Update { payload, .. } = &mut update {
+                    let empty = fedsz::CompressedUpdate::from_bytes(Vec::new());
+                    let mut raw = std::mem::replace(payload, empty).into_bytes();
+                    if let Some(b) = raw.first_mut() {
+                        *b ^= 0xFF;
+                    }
+                    *payload = fedsz::CompressedUpdate::from_bytes(raw);
+                }
+                if wire::write_frame(&mut stream, &update).is_err() {
+                    reconnect_or_return!();
+                }
+            }
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                if wire::write_frame(&mut stream, &update).is_err() {
+                    reconnect_or_return!();
+                }
+            }
+            None => {
+                if wire::write_frame(&mut stream, &update).is_err() {
+                    reconnect_or_return!();
+                }
+            }
+        }
+    }
+}
+
+/// Serve one full FL run over an already-bound listener.
+fn serve_on(
+    listener: TcpListener,
+    cfg: &FlConfig,
+    tcfg: &TransportConfig,
+    ncfg: &NetConfig,
+) -> Result<FlRunResult, FlError> {
+    let (test, _) = setup_data(cfg);
+    let bcast_cfg = broadcast_config(&cfg.compression);
+    let mut server = TcpServer::start(listener, cfg.n_clients, ncfg.clone())?;
+    let joined = server.await_joins(cfg.n_clients, ncfg.join_timeout);
+    if joined == 0 {
+        server.stop();
+        return Err(FlError::Transport(
+            "no client joined within the join timeout".into(),
+        ));
+    }
+    let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut server);
+    server.stop();
+    result
+}
+
+/// Run the federated session over real TCP on loopback: the server and one
+/// OS thread per client, all in this process, talking through the framed
+/// wire protocol. Bit-identical (same seeds) to
+/// [`run_threaded`](crate::run_threaded) and
+/// [`session::run`](crate::session::run).
+pub fn run_tcp(cfg: &FlConfig) -> Result<FlRunResult, FlError> {
+    run_tcp_with(cfg, &TransportConfig::default(), &NetConfig::default())
+}
+
+/// [`run_tcp`] under explicit transport and socket policies.
+pub fn run_tcp_with(
+    cfg: &FlConfig,
+    tcfg: &TransportConfig,
+    ncfg: &NetConfig,
+) -> Result<FlRunResult, FlError> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| FlError::Transport(format!("bind 127.0.0.1:0: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| FlError::Transport(format!("local addr: {e}")))?;
+    let plan = Arc::new(tcfg.faults.clone());
+    let idle = tcfg.client_idle_timeout;
+    let handles: Vec<_> = (0..cfg.n_clients)
+        .map(|id| {
+            let cfg = *cfg;
+            let ncfg = ncfg.clone();
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || tcp_client_loop(addr, id, &cfg, &plan, idle, &ncfg))
+        })
+        .collect();
+    let result = serve_on(listener, cfg, tcfg, ncfg);
+    for h in handles {
+        let _ = h.join();
+    }
+    result
+}
+
+/// Bind `addr` and serve one FL run to remote TCP clients (the CLI's
+/// `--transport tcp --listen` role). Returns once the run completes, after
+/// telling every connected client to stop.
+pub fn serve_tcp(
+    addr: &str,
+    cfg: &FlConfig,
+    tcfg: &TransportConfig,
+    ncfg: &NetConfig,
+) -> Result<FlRunResult, FlError> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| FlError::Transport(format!("bind {addr}: {e}")))?;
+    serve_on(listener, cfg, tcfg, ncfg)
+}
+
+/// Join a remote FL server as one client (the CLI's `--transport tcp
+/// --connect` role) and participate until the server stops the run, the
+/// connection is lost beyond the reconnect budget, or the idle timeout
+/// expires.
+pub fn run_tcp_client(
+    addr: &str,
+    client_id: usize,
+    cfg: &FlConfig,
+    idle: Option<Duration>,
+    ncfg: &NetConfig,
+) -> Result<(), FlError> {
+    if client_id >= cfg.n_clients {
+        return Err(FlError::Transport(format!(
+            "client id {client_id} out of range for {} clients",
+            cfg.n_clients
+        )));
+    }
+    use std::net::ToSocketAddrs;
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| FlError::Transport(format!("resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| FlError::Transport(format!("{addr} resolved to no address")))?;
+    tcp_client_loop(addr, client_id, cfg, &FaultPlan::new(), idle, ncfg);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_resets() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let mut b = Backoff::new(base, max, 7);
+        let mut prev = Duration::ZERO;
+        for i in 0..8 {
+            let d = b.next_delay();
+            // Within [undelayed, +25% jitter] of the capped exponential.
+            let raw = base.saturating_mul(1 << i.min(3)).min(max);
+            assert!(d >= raw, "attempt {i}: {d:?} < {raw:?}");
+            assert!(d <= raw.mul_f64(1.25), "attempt {i}: {d:?}");
+            assert!(d >= prev.mul_f64(0.5), "attempt {i} went backwards");
+            prev = d;
+        }
+        b.reset();
+        assert!(b.next_delay() <= base.mul_f64(1.25));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic() {
+        let mk = || Backoff::new(Duration::from_millis(5), Duration::from_millis(100), 42);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..6 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn net_config_defaults_are_sane() {
+        let n = NetConfig::default();
+        assert!(n.backoff_base < n.backoff_max);
+        assert!(n.rejoin_grace > Duration::ZERO);
+        assert!(n.max_reconnects > 0);
+    }
+
+    #[test]
+    fn tcp_loopback_smoke() {
+        // Full integration runs live in tests/tcp_transport.rs; this is a
+        // minimal end-to-end sanity check for the in-crate test suite.
+        let cfg = FlConfig {
+            n_clients: 2,
+            rounds: 1,
+            samples_per_client: 16,
+            test_samples: 16,
+            ..FlConfig::default()
+        };
+        let result = run_tcp(&cfg).expect("tcp run");
+        assert_eq!(result.rounds.len(), 1);
+        let r = &result.rounds[0];
+        assert!(r.faults.is_clean(), "{:?}", r.faults);
+        assert_eq!(r.faults.delivered, 2);
+        assert!(r.bytes_down_wire > 0);
+        assert!(r.bytes_on_wire > 0);
+    }
+
+    #[test]
+    fn tcp_client_with_bad_id_is_rejected_up_front() {
+        let cfg = FlConfig::default();
+        let err = run_tcp_client("127.0.0.1:1", 99, &cfg, None, &NetConfig::default())
+            .expect_err("id out of range");
+        assert!(matches!(err, FlError::Transport(_)), "{err:?}");
+    }
+}

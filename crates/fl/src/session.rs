@@ -96,8 +96,12 @@ pub struct RoundMetrics {
     pub compress_s_total: f64,
     /// Sum of server decompression wall times.
     pub decompress_s_total: f64,
-    /// Total bytes on the wire, all clients.
+    /// Total uplink bytes on the wire, all clients.
     pub bytes_on_wire: usize,
+    /// Total downlink broadcast bytes on the wire, all reached clients.
+    /// Zero on the in-process path, which shares the global model by
+    /// reference rather than serializing it.
+    pub bytes_down_wire: usize,
     /// Total uncompressed update bytes, all clients.
     pub bytes_uncompressed: usize,
     /// Client participation outcome (delivered / rejected / late / dropped).
@@ -155,6 +159,16 @@ impl FlRunResult {
             self.rounds.iter().map(|r| r.bytes_on_wire).sum(),
             self.rounds.iter().map(|r| r.compress_s_total).sum(),
         )
+    }
+
+    /// Total uplink bytes on the wire over the whole run.
+    pub fn total_bytes_up(&self) -> usize {
+        self.rounds.iter().map(|r| r.bytes_on_wire).sum()
+    }
+
+    /// Total downlink broadcast bytes on the wire over the whole run.
+    pub fn total_bytes_down(&self) -> usize {
+        self.rounds.iter().map(|r| r.bytes_down_wire).sum()
     }
 
     /// Mean per-update bytes on the wire.
@@ -292,6 +306,7 @@ pub fn run_scheduled(
             compress_s_total: outs.iter().map(|o| o.compress_s).sum(),
             decompress_s_total,
             bytes_on_wire: outs.iter().map(|o| o.wire_bytes).sum(),
+            bytes_down_wire: 0,
             bytes_uncompressed: outs.iter().map(|o| o.raw_bytes).sum(),
             faults: FaultCounters::full(cfg.n_clients),
         });

@@ -1,11 +1,16 @@
-//! Threaded client–server transport: the APPFL/gRPC analogue.
+//! Transport-generic client–server FL loop, plus the threaded
+//! channel-backed transport (the APPFL/gRPC analogue).
 //!
 //! [`session::run`](crate::session::run) executes the FL loop in one thread
-//! of control (with Rayon inside). This module instead runs every client as
-//! its own OS thread exchanging *serialized bitstreams* with a server over
-//! crossbeam channels — the same process shape as the paper's
-//! MPI-per-client deployment, and a check that FedSZ updates really are
-//! self-contained wire messages (nothing shared but bytes).
+//! of control (with Rayon inside). This module instead runs the server loop
+//! — broadcast → collect under a deadline → quorum/retry → FedAvg — over a
+//! small [`ServerTransport`] trait with two implementations: the original
+//! channel-backed one (every client an OS thread exchanging *serialized
+//! bitstreams* over crossbeam channels) and the socket-backed one in
+//! [`crate::net`] (real TCP with a framed, CRC-checked wire protocol).
+//! Either way the process shape matches the paper's MPI-per-client
+//! deployment, and FedSZ updates are checked to be self-contained wire
+//! messages (nothing shared but bytes).
 //!
 //! The downlink broadcast uses FedSZ with an "everything lossless"
 //! partition (threshold `usize::MAX`), so the global model arrives
@@ -16,10 +21,13 @@
 //! Unlike the paper's testbed, the server here never assumes that every
 //! client answers every round:
 //!
-//! * A **corrupt uplink** is a decode failure, counted as `rejected` and
-//!   excluded from the aggregate.
-//! * A **dead client** (disconnected downlink channel) is counted as
-//!   `dropped` and no longer waited for.
+//! * A **corrupt uplink** is a decode failure — or, over TCP, a frame with
+//!   a bad CRC-32 or a truncated read — counted as `rejected` and excluded
+//!   from the aggregate.
+//! * A **dead client** (disconnected downlink channel or socket) is
+//!   counted as `dropped` and no longer waited for. Over TCP a client may
+//!   later *rejoin*: it reconnects with exponential backoff and is served
+//!   again from the next round's broadcast.
 //! * A **straggler** that misses the per-round deadline is counted as
 //!   `late`; its stale message is discarded when it eventually arrives.
 //!
@@ -27,7 +35,9 @@
 //! If the quorum falls below [`TransportConfig::min_quorum`], the round is
 //! retried up to [`TransportConfig::max_round_retries`] times and the run
 //! then aborts with [`FlError::QuorumNotMet`] — a typed error, not a panic.
-//! [`FaultPlan`] injects these failures deterministically for tests.
+//! [`FaultPlan`] injects these failures deterministically for tests,
+//! including the wire-level kinds (`TruncateFrame`, `FlipBytes`,
+//! `Disconnect`) that only a real socket can produce faithfully.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,8 +52,8 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::partition;
 use crate::session::{FlConfig, FlRunResult, RoundMetrics};
 
-/// Transport-level policy: per-round deadline, quorum, retries, and fault
-/// injection.
+/// Transport-level policy: per-round deadline, quorum, retries, client idle
+/// timeout, and fault injection. Shared by the channel and TCP transports.
 #[derive(Debug, Clone, Default)]
 pub struct TransportConfig {
     /// Wall-clock budget per round attempt. `None` waits for every client
@@ -57,6 +67,12 @@ pub struct TransportConfig {
     /// How many times a quorum-starved round is re-broadcast before the run
     /// aborts with [`FlError::QuorumNotMet`].
     pub max_round_retries: usize,
+    /// Client-side idle timeout: how long a client waits for the next
+    /// broadcast before concluding the server is gone and exiting cleanly.
+    /// `None` (the default) waits forever, which matches a client whose
+    /// server hangs without closing the connection. Mirrored by both the
+    /// channel and TCP transports so clients degrade gracefully too.
+    pub client_idle_timeout: Option<Duration>,
     /// Deterministic fault injection (tests and chaos experiments).
     pub faults: FaultPlan,
 }
@@ -69,15 +85,15 @@ impl TransportConfig {
 }
 
 /// Uplink message: one client's update for one round attempt.
-struct ClientMsg {
-    client_id: usize,
-    round: usize,
-    attempt: usize,
-    payload: CompressedUpdate,
-    samples: usize,
-    train_s: f64,
-    compress_s: f64,
-    raw_bytes: usize,
+pub(crate) struct ClientMsg {
+    pub(crate) client_id: usize,
+    pub(crate) round: usize,
+    pub(crate) attempt: usize,
+    pub(crate) payload: CompressedUpdate,
+    pub(crate) samples: usize,
+    pub(crate) train_s: f64,
+    pub(crate) compress_s: f64,
+    pub(crate) raw_bytes: usize,
 }
 
 /// Downlink message: the new global model (or a stop signal).
@@ -90,11 +106,135 @@ enum ServerMsg {
     Stop,
 }
 
+/// What the server learned from one uplink receive.
+pub(crate) enum Uplink {
+    /// A structurally valid message (its payload may still fail to decode).
+    Msg(ClientMsg),
+    /// A frame that failed wire-level validation — bad CRC-32 or a
+    /// truncated read — attributed to the connection it arrived on.
+    /// Counted as `rejected`, exactly like a corrupt in-process payload.
+    Garbage {
+        /// Client the broken frame came from.
+        client_id: usize,
+    },
+    /// The client's connection closed; it cannot answer this attempt
+    /// (it may reconnect and rejoin at a later broadcast).
+    Gone {
+        /// Client whose connection closed.
+        client_id: usize,
+    },
+}
+
+/// Why no uplink message arrived.
+pub(crate) enum RecvEnd {
+    /// The round deadline passed.
+    Timeout,
+    /// No client can ever answer again.
+    Closed,
+}
+
+/// Result of one broadcast: which clients it reached and what it cost.
+pub(crate) struct BroadcastOutcome {
+    /// Per-client: did the downlink send succeed? Reached clients are
+    /// expected to answer; the rest are `dropped` for this round.
+    pub(crate) reached: Vec<bool>,
+    /// Bytes put on the wire by this broadcast (0 for unreachable clients).
+    pub(crate) bytes_down: usize,
+}
+
+impl BroadcastOutcome {
+    pub(crate) fn expected(&self) -> usize {
+        self.reached.iter().filter(|r| **r).count()
+    }
+}
+
+/// Server-side endpoint of a transport: broadcast downlink, receive uplink.
+///
+/// The generic [`serve`] loop owns round/attempt/quorum/deadline policy;
+/// implementations own only the mechanics of moving bytes (channels in this
+/// module, framed TCP in [`crate::net`]).
+pub(crate) trait ServerTransport {
+    /// Broadcast `model` for `(round, attempt)` to every reachable client.
+    fn broadcast(
+        &mut self,
+        round: usize,
+        attempt: usize,
+        model: &CompressedUpdate,
+    ) -> BroadcastOutcome;
+
+    /// Receive the next uplink event, waiting until `cutoff`
+    /// (`None` = no deadline).
+    fn recv(&mut self, cutoff: Option<Instant>) -> Result<Uplink, RecvEnd>;
+}
+
 /// Lossless-only FedSZ config used for the bit-exact downlink broadcast.
-fn broadcast_config(uplink: &Option<FedSzConfig>) -> FedSzConfig {
+pub(crate) fn broadcast_config(uplink: &Option<FedSzConfig>) -> FedSzConfig {
     FedSzConfig {
         threshold: usize::MAX,
         ..uplink.unwrap_or_default()
+    }
+}
+
+/// Generate the dataset and deterministic per-client shards for `cfg`.
+/// Every process that derives its shard this way — the in-process session,
+/// the threaded transport, a remote TCP client — sees identical data.
+pub(crate) fn setup_data(cfg: &FlConfig) -> (fedsz_dnn::Dataset, Vec<fedsz_dnn::Dataset>) {
+    let total_train = cfg.n_clients * cfg.samples_per_client;
+    let (train, test) = cfg
+        .dataset
+        .generate(total_train, cfg.test_samples, cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xF17E_57A7);
+    let shards = match cfg.dirichlet_alpha {
+        Some(alpha) => partition::dirichlet(&train, cfg.n_clients, alpha, &mut rng),
+        None => partition::iid(&train, cfg.n_clients, &mut rng),
+    };
+    (test, shards)
+}
+
+/// One client's local work for one broadcast: train, serialize, measure.
+pub(crate) struct LocalOutcome {
+    pub(crate) payload: CompressedUpdate,
+    pub(crate) samples: usize,
+    pub(crate) train_s: f64,
+    pub(crate) compress_s: f64,
+    pub(crate) raw_bytes: usize,
+}
+
+/// Run local training for `round` and compress the resulting update.
+/// Shared by the channel and TCP client loops so both transports produce
+/// bit-identical updates from the same seeds.
+pub(crate) fn local_round(
+    net: &mut fedsz_dnn::Network,
+    cfg: &FlConfig,
+    shard: &fedsz_dnn::Dataset,
+    id: usize,
+    round: usize,
+) -> LocalOutcome {
+    let mut lrng =
+        SplitMix64::new(cfg.seed ^ ((round as u64) << 32) ^ (id as u64).wrapping_mul(0x9E37));
+    let t0 = Instant::now();
+    for _ in 0..cfg.local_epochs {
+        net.train_epoch(shard, cfg.batch_size, cfg.lr, cfg.momentum, &mut lrng);
+    }
+    let train_s = t0.elapsed().as_secs_f64();
+    let local = net.state_dict();
+    let raw_bytes = local.nbytes();
+    let t1 = Instant::now();
+    let uplink_cfg = cfg.compression.unwrap_or(FedSzConfig {
+        threshold: usize::MAX,
+        ..FedSzConfig::default()
+    });
+    let payload = fedsz::compress(&local, &uplink_cfg);
+    // Serialization runs (and takes time) even on the lossless path, so
+    // the elapsed time is reported unconditionally — otherwise the
+    // uncompressed baseline's timing numbers are silently understated.
+    let compress_s = t1.elapsed().as_secs_f64();
+    LocalOutcome {
+        payload,
+        samples: shard.n.max(1),
+        train_s,
+        compress_s,
+        raw_bytes,
     }
 }
 
@@ -111,20 +251,12 @@ pub fn run_threaded(cfg: &FlConfig) -> Result<FlRunResult, FlError> {
 /// Run the threaded federated session under an explicit transport policy.
 pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
-    let total_train = cfg.n_clients * cfg.samples_per_client;
-    let (train, test) = cfg
-        .dataset
-        .generate(total_train, cfg.test_samples, cfg.seed);
-
-    let mut rng = SplitMix64::new(cfg.seed ^ 0xF17E_57A7);
-    let shards = match cfg.dirichlet_alpha {
-        Some(alpha) => partition::dirichlet(&train, cfg.n_clients, alpha, &mut rng),
-        None => partition::iid(&train, cfg.n_clients, &mut rng),
-    };
+    let (test, shards) = setup_data(cfg);
 
     let (up_tx, up_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = unbounded();
     let bcast_cfg = broadcast_config(&cfg.compression);
     let plan = Arc::new(tcfg.faults.clone());
+    let idle = tcfg.client_idle_timeout;
 
     let mut down_txs: Vec<Sender<ServerMsg>> = Vec::with_capacity(cfg.n_clients);
     let mut handles = Vec::with_capacity(cfg.n_clients);
@@ -135,12 +267,17 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
         let cfg = *cfg;
         let plan = Arc::clone(&plan);
         handles.push(std::thread::spawn(move || {
-            client_loop(i, cfg, shard, c, h, classes, &plan, &down_rx, &up_tx);
+            client_loop(i, cfg, shard, c, h, classes, &plan, idle, &down_rx, &up_tx);
         }));
     }
     drop(up_tx);
 
-    let result = server_loop(cfg, tcfg, &test, &bcast_cfg, &down_txs, &up_rx);
+    let mut transport = ChannelTransport {
+        down_txs: &down_txs,
+        up_rx: &up_rx,
+        dead: vec![false; cfg.n_clients],
+    };
+    let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut transport);
 
     for tx in &down_txs {
         let _ = tx.send(ServerMsg::Stop);
@@ -154,9 +291,72 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
     result
 }
 
+/// Channel-backed [`ServerTransport`]: one bounded downlink channel per
+/// client, one shared unbounded uplink channel. A failed downlink send is
+/// the only way to observe a dead client, and channels cannot be re-opened,
+/// so `dead` is permanent here (unlike TCP, where clients rejoin).
+struct ChannelTransport<'a> {
+    down_txs: &'a [Sender<ServerMsg>],
+    up_rx: &'a Receiver<ClientMsg>,
+    dead: Vec<bool>,
+}
+
+impl ServerTransport for ChannelTransport<'_> {
+    fn broadcast(
+        &mut self,
+        round: usize,
+        attempt: usize,
+        model: &CompressedUpdate,
+    ) -> BroadcastOutcome {
+        let mut reached = vec![false; self.down_txs.len()];
+        let mut bytes_down = 0usize;
+        for (id, tx) in self.down_txs.iter().enumerate() {
+            if self.dead[id] {
+                continue;
+            }
+            let msg = ServerMsg::Broadcast {
+                round,
+                attempt,
+                model: model.clone(),
+            };
+            if tx.send(msg).is_err() {
+                self.dead[id] = true;
+            } else {
+                reached[id] = true;
+                bytes_down += model.nbytes();
+            }
+        }
+        BroadcastOutcome {
+            reached,
+            bytes_down,
+        }
+    }
+
+    fn recv(&mut self, cutoff: Option<Instant>) -> Result<Uplink, RecvEnd> {
+        let msg = match cutoff {
+            Some(end) => {
+                let Some(left) = end.checked_duration_since(Instant::now()) else {
+                    return Err(RecvEnd::Timeout); // deadline passed while processing
+                };
+                match self.up_rx.recv_timeout(left) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => return Err(RecvEnd::Timeout),
+                    Err(RecvTimeoutError::Disconnected) => return Err(RecvEnd::Closed),
+                }
+            }
+            None => match self.up_rx.recv() {
+                Ok(m) => m,
+                Err(_) => return Err(RecvEnd::Closed), // every client hung up
+            },
+        };
+        Ok(Uplink::Msg(msg))
+    }
+}
+
 /// One client: receive the global model, train locally, send the update.
-/// Exits (closing its channels) on any transport failure instead of
-/// panicking — from the server's point of view it simply died.
+/// Exits (closing its channels) on any transport failure — or once the
+/// optional idle timeout expires without a broadcast — instead of
+/// panicking; from the server's point of view it simply died.
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     id: usize,
@@ -166,39 +366,37 @@ fn client_loop(
     h: usize,
     classes: usize,
     plan: &FaultPlan,
+    idle: Option<Duration>,
     down_rx: &Receiver<ServerMsg>,
     up_tx: &Sender<ClientMsg>,
 ) {
     let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
-    while let Ok(ServerMsg::Broadcast {
-        round,
-        attempt,
-        model,
-    }) = down_rx.recv()
-    {
+    loop {
+        let msg = match idle {
+            // A server that hangs without closing the channel must not trap
+            // the client forever: give up after the idle timeout.
+            Some(t) => match down_rx.recv_timeout(t) {
+                Ok(m) => m,
+                Err(_) => return,
+            },
+            None => match down_rx.recv() {
+                Ok(m) => m,
+                Err(_) => return,
+            },
+        };
+        let ServerMsg::Broadcast {
+            round,
+            attempt,
+            model,
+        } = msg
+        else {
+            return; // Stop
+        };
         let Ok(sd) = fedsz::decompress(&model) else {
             return; // corrupt broadcast: nothing sane to train on
         };
         net.load_state_dict(&sd);
-        let mut lrng =
-            SplitMix64::new(cfg.seed ^ ((round as u64) << 32) ^ (id as u64).wrapping_mul(0x9E37));
-        let t0 = Instant::now();
-        for _ in 0..cfg.local_epochs {
-            net.train_epoch(&shard, cfg.batch_size, cfg.lr, cfg.momentum, &mut lrng);
-        }
-        let train_s = t0.elapsed().as_secs_f64();
-        let local = net.state_dict();
-        let raw_bytes = local.nbytes();
-        let t1 = Instant::now();
-        let uplink_cfg = cfg.compression.unwrap_or(FedSzConfig {
-            threshold: usize::MAX,
-            ..FedSzConfig::default()
-        });
-        let payload = fedsz::compress(&local, &uplink_cfg);
-        // Serialization runs (and takes time) even on the lossless path, so
-        // the elapsed time is reported unconditionally — otherwise the
-        // uncompressed baseline's timing numbers are silently understated.
-        let compress_s = t1.elapsed().as_secs_f64();
+        let out = local_round(&mut net, &cfg, &shard, id, round);
 
         // Injected faults fire on the first attempt of their round only, so
         // a quorum retry observes a healthy client again.
@@ -209,18 +407,40 @@ fn client_loop(
         };
         let payload = match fault {
             Some(FaultKind::Crash) => return,
+            // Channels cannot be reconnected, so a wire-level disconnect
+            // degenerates to a crash here; the TCP transport models the
+            // rejoin-with-backoff path faithfully.
+            Some(FaultKind::Disconnect) => return,
             Some(FaultKind::Corrupt) => {
-                let mut bytes = payload.into_bytes();
+                let mut bytes = out.payload.into_bytes();
                 if let Some(b) = bytes.first_mut() {
                     *b ^= 0xFF; // break the magic: guaranteed decode failure
                 }
                 CompressedUpdate::from_bytes(bytes)
             }
+            Some(FaultKind::TruncateFrame) => {
+                // In-process analogue of a frame cut mid-stream: every
+                // strict prefix of a FedSZ stream fails to decode.
+                let mut bytes = out.payload.into_bytes();
+                bytes.truncate(bytes.len() / 2);
+                CompressedUpdate::from_bytes(bytes)
+            }
+            Some(FaultKind::FlipBytes(n)) => {
+                // Flip the leading bytes: breaks the FedSZ magic, so the
+                // corruption is detected deterministically (the TCP path
+                // detects the same fault via the frame CRC instead).
+                let mut bytes = out.payload.into_bytes();
+                let upto = n.min(bytes.len());
+                for b in &mut bytes[..upto] {
+                    *b ^= 0xA5;
+                }
+                CompressedUpdate::from_bytes(bytes)
+            }
             Some(FaultKind::Delay(d)) => {
                 std::thread::sleep(d);
-                payload
+                out.payload
             }
-            None => payload,
+            None => out.payload,
         };
         if up_tx
             .send(ClientMsg {
@@ -228,10 +448,10 @@ fn client_loop(
                 round,
                 attempt,
                 payload,
-                samples: shard.n.max(1),
-                train_s,
-                compress_s,
-                raw_bytes,
+                samples: out.samples,
+                train_s: out.train_s,
+                compress_s: out.compress_s,
+                raw_bytes: out.raw_bytes,
             })
             .is_err()
         {
@@ -240,20 +460,19 @@ fn client_loop(
     }
 }
 
-/// The server side: broadcast, collect under the deadline, aggregate over
-/// the quorum, retry or abort when the quorum is not met.
-fn server_loop(
+/// The transport-generic server loop: broadcast, collect under the
+/// deadline, aggregate over the quorum, retry or abort when the quorum is
+/// not met. Identical policy for channels and TCP.
+pub(crate) fn serve<T: ServerTransport>(
     cfg: &FlConfig,
     tcfg: &TransportConfig,
     test: &fedsz_dnn::Dataset,
     bcast_cfg: &FedSzConfig,
-    down_txs: &[Sender<ServerMsg>],
-    up_rx: &Receiver<ClientMsg>,
+    transport: &mut T,
 ) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
     let mut global = server.state_dict();
-    let mut dead = vec![false; cfg.n_clients];
     let mut rounds = Vec::with_capacity(cfg.rounds);
 
     for round in 0..cfg.rounds {
@@ -265,48 +484,37 @@ fn server_loop(
             compress_s_total: 0.0,
             decompress_s_total: 0.0,
             bytes_on_wire: 0,
+            bytes_down_wire: 0,
             bytes_uncompressed: 0,
             faults: FaultCounters::default(),
         };
 
         let weighted = 'attempts: {
             for attempt in 0..=tcfg.max_round_retries {
-                // Broadcast to every client not already known dead; a failed
-                // send means the client's channel is gone.
-                for (id, tx) in down_txs.iter().enumerate() {
-                    if dead[id] {
-                        continue;
-                    }
-                    let msg = ServerMsg::Broadcast {
-                        round,
-                        attempt,
-                        model: broadcast.clone(),
-                    };
-                    if tx.send(msg).is_err() {
-                        dead[id] = true;
-                    }
-                }
-                let expected = dead.iter().filter(|d| !**d).count();
+                let outcome = transport.broadcast(round, attempt, &broadcast);
+                let expected = outcome.expected();
+                metrics.faults.dropped = cfg.n_clients - expected;
+                metrics.bytes_down_wire += outcome.bytes_down;
                 if expected == 0 {
                     return Err(FlError::AllClientsDead { round });
                 }
 
-                let outcome = collect_attempt(
+                let collected = collect_attempt(
                     cfg,
                     round,
                     attempt,
-                    expected,
+                    &outcome.reached,
                     tcfg.round_deadline,
-                    up_rx,
+                    transport,
                     &mut metrics,
                 );
-                if outcome.delivered >= tcfg.quorum() {
-                    break 'attempts outcome.updates;
+                if collected.delivered >= tcfg.quorum() {
+                    break 'attempts collected.updates;
                 }
                 if attempt == tcfg.max_round_retries {
                     return Err(FlError::QuorumNotMet {
                         round,
-                        delivered: outcome.delivered,
+                        delivered: collected.delivered,
                         required: tcfg.quorum(),
                     });
                 }
@@ -314,7 +522,6 @@ fn server_loop(
             unreachable!("attempt loop either breaks with a quorum or returns an error");
         };
 
-        metrics.faults.dropped = dead.iter().filter(|d| **d).count();
         global = fedavg(&weighted);
         server.load_state_dict(&global);
         metrics.accuracy = server.evaluate(test);
@@ -337,62 +544,79 @@ struct AttemptOutcome {
 }
 
 /// Collect uplink messages for `(round, attempt)` until every expected
-/// client has answered or the deadline passes. Corrupt payloads count as
-/// rejected; missing clients as late; stale messages from earlier rounds or
-/// attempts are discarded (they were already accounted when they ran late).
-fn collect_attempt(
+/// client has answered (or provably cannot) or the deadline passes.
+/// Corrupt payloads and broken wire frames count as rejected; missing
+/// clients as late; stale messages from earlier rounds or attempts are
+/// discarded (they were already accounted when they ran late).
+fn collect_attempt<T: ServerTransport>(
     cfg: &FlConfig,
     round: usize,
     attempt: usize,
-    expected: usize,
+    reached: &[bool],
     deadline: Option<Duration>,
-    up_rx: &Receiver<ClientMsg>,
+    transport: &mut T,
     metrics: &mut RoundMetrics,
 ) -> AttemptOutcome {
     let cutoff = deadline.map(|d| Instant::now() + d);
     let mut slots: Vec<Option<(StateDict, usize)>> = (0..cfg.n_clients).map(|_| None).collect();
+    let mut outstanding = reached.to_vec();
+    let mut pending = outstanding.iter().filter(|o| **o).count();
+    let expected = pending;
     let mut delivered = 0usize;
     let mut rejected = 0usize;
-
-    while delivered + rejected < expected {
-        let msg = match cutoff {
-            Some(end) => {
-                let Some(left) = end.checked_duration_since(Instant::now()) else {
-                    break; // deadline passed while processing
-                };
-                match up_rx.recv_timeout(left) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            None => match up_rx.recv() {
-                Ok(m) => m,
-                Err(_) => break, // every client hung up
-            },
-        };
-        if msg.round != round || msg.attempt != attempt || msg.client_id >= cfg.n_clients {
-            continue; // stale straggler output (or nonsense id): discard
+    let resolve = |outstanding: &mut [bool], pending: &mut usize, id: usize| {
+        if id < outstanding.len() && outstanding[id] {
+            outstanding[id] = false;
+            *pending -= 1;
         }
-        let t = Instant::now();
-        match fedsz::decompress(&msg.payload) {
-            Ok(sd) => {
-                metrics.decompress_s_total += t.elapsed().as_secs_f64();
-                metrics.train_s_total += msg.train_s;
-                metrics.compress_s_total += msg.compress_s;
-                metrics.bytes_on_wire += msg.payload.nbytes();
-                metrics.bytes_uncompressed += msg.raw_bytes;
-                if slots[msg.client_id].is_none() {
-                    delivered += 1;
+    };
+
+    while pending > 0 {
+        let msg = match transport.recv(cutoff) {
+            Ok(m) => m,
+            Err(RecvEnd::Timeout) | Err(RecvEnd::Closed) => break,
+        };
+        match msg {
+            Uplink::Msg(msg) => {
+                if msg.round != round || msg.attempt != attempt || msg.client_id >= cfg.n_clients {
+                    continue; // stale straggler output (or nonsense id): discard
                 }
-                slots[msg.client_id] = Some((sd, msg.samples));
+                let t = Instant::now();
+                match fedsz::decompress(&msg.payload) {
+                    Ok(sd) => {
+                        metrics.decompress_s_total += t.elapsed().as_secs_f64();
+                        metrics.train_s_total += msg.train_s;
+                        metrics.compress_s_total += msg.compress_s;
+                        metrics.bytes_on_wire += msg.payload.nbytes();
+                        metrics.bytes_uncompressed += msg.raw_bytes;
+                        if slots[msg.client_id].is_none() {
+                            delivered += 1;
+                        }
+                        slots[msg.client_id] = Some((sd, msg.samples));
+                    }
+                    Err(_) => rejected += 1,
+                }
+                resolve(&mut outstanding, &mut pending, msg.client_id);
             }
-            Err(_) => rejected += 1,
+            Uplink::Garbage { client_id } => {
+                // Wire-level rejection (bad CRC / truncated frame): counted
+                // like a corrupt payload, attributed to the connection.
+                rejected += 1;
+                resolve(&mut outstanding, &mut pending, client_id);
+            }
+            Uplink::Gone { client_id } => {
+                // The connection closed before an answer: this client runs
+                // out as late without forcing the server to sit out the
+                // whole deadline for it.
+                resolve(&mut outstanding, &mut pending, client_id);
+            }
         }
     }
 
     metrics.faults.rejected += rejected;
-    metrics.faults.late += expected - delivered - rejected;
+    // A flood of duplicate corrupt frames (a replaying socket) can push
+    // `rejected` past `expected`; saturate instead of underflowing.
+    metrics.faults.late += expected.saturating_sub(delivered + rejected);
     metrics.faults.delivered = delivered;
     AttemptOutcome {
         updates: slots.into_iter().flatten().collect(),
@@ -446,12 +670,16 @@ mod tests {
         for r in &result.rounds {
             assert!(r.compression_ratio() > 2.0, "{}", r.compression_ratio());
             assert!(r.decompress_s_total > 0.0);
+            // Every round broadcasts the lossless global model to all four
+            // clients; the downlink is accounted alongside the uplink.
+            assert!(r.bytes_down_wire > r.bytes_on_wire, "{r:?}");
         }
         assert!(
             result.final_accuracy() > 0.15,
             "{}",
             result.final_accuracy()
         );
+        assert!(result.total_bytes_down() > result.total_bytes_up());
     }
 
     #[test]
@@ -469,6 +697,43 @@ mod tests {
         assert_eq!(tcfg.round_deadline, None);
         assert_eq!(tcfg.quorum(), 1);
         assert_eq!(tcfg.max_round_retries, 0);
+        assert_eq!(tcfg.client_idle_timeout, None);
         assert!(tcfg.faults.is_empty());
+    }
+
+    #[test]
+    fn idle_client_gives_up_when_the_server_hangs() {
+        // A client whose server never broadcasts (and never closes the
+        // channel) exits on its own once the idle timeout expires.
+        let (_down_tx, down_rx) = bounded::<ServerMsg>(1);
+        let (up_tx, _up_rx) = unbounded::<ClientMsg>();
+        let cfg = FlConfig {
+            samples_per_client: 8,
+            test_samples: 8,
+            ..FlConfig::default()
+        };
+        let (c, h, _, classes) = cfg.dataset.dims();
+        let (_, mut shards) = setup_data(&cfg);
+        let shard = shards.remove(0);
+        let plan = FaultPlan::new();
+        let started = Instant::now();
+        let handle = std::thread::spawn(move || {
+            client_loop(
+                0,
+                cfg,
+                shard,
+                c,
+                h,
+                classes,
+                &plan,
+                Some(Duration::from_millis(100)),
+                &down_rx,
+                &up_tx,
+            );
+        });
+        handle.join().expect("client thread exits cleanly");
+        assert!(started.elapsed() >= Duration::from_millis(100));
+        // _down_tx still open: the exit came from the idle timeout, not a
+        // disconnected channel.
     }
 }

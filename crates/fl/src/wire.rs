@@ -1,0 +1,517 @@
+//! Length-prefixed, CRC-checked frames for the TCP transport.
+//!
+//! Every message between a FedSZ client and server travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "FWR1"
+//! 4       1     frame kind (1 = Hello, 2 = Broadcast, 3 = Update, 4 = Stop)
+//! 5       4     body length, u32 little-endian (<= MAX_BODY)
+//! 9       n     body (kind-specific, varint-encoded integers)
+//! 9+n     4     CRC-32 (IEEE, `fedsz_entropy::crc32`) over kind + length + body
+//! ```
+//!
+//! The CRC covers everything after the magic, so a flipped bit anywhere in
+//! the header fields or the body is detected before the body is decoded —
+//! the transport counts such frames as `rejected`, exactly like a corrupt
+//! in-process payload. The length prefix keeps the stream self-framing: a
+//! frame whose CRC fails can be skipped without losing synchronisation, so
+//! one corrupt update does not force a reconnect.
+//!
+//! [`read_frame`] distinguishes the failure modes a real socket produces:
+//! a clean close between frames ([`WireError::Closed`]), a connection that
+//! dies mid-frame ([`WireError::UnexpectedEof`]), a peer that goes silent
+//! before a frame starts ([`WireError::Idle`], driving the optional client
+//! idle timeout) and one that stalls after a frame started
+//! ([`WireError::Stalled`], bounded by the per-frame budget).
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+use fedsz::CompressedUpdate;
+use fedsz_entropy::crc32::Crc32;
+use fedsz_entropy::varint;
+
+/// Frame magic: "FedSZ WiRe" + format version 1.
+pub const MAGIC: [u8; 4] = *b"FWR1";
+/// Bytes before the body: magic + kind + length.
+pub const HEADER_LEN: usize = 9;
+/// Bytes after the body: the CRC-32.
+pub const TRAILER_LEN: usize = 4;
+/// Upper bound on a frame body; a hostile length above this is rejected
+/// before any allocation happens.
+pub const MAX_BODY: usize = 1 << 28; // 256 MiB
+
+const K_HELLO: u8 = 1;
+const K_BROADCAST: u8 = 2;
+const K_UPDATE: u8 = 3;
+const K_STOP: u8 = 4;
+
+/// One transport message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client handshake: announces which client slot this connection serves.
+    Hello {
+        /// Client index (0-based, must be `< n_clients` at the server).
+        client_id: usize,
+    },
+    /// Server downlink: the global model for one round attempt.
+    Broadcast {
+        /// Round index.
+        round: usize,
+        /// Attempt within the round (quorum retries re-broadcast).
+        attempt: usize,
+        /// Losslessly FedSZ-compressed global model.
+        model: CompressedUpdate,
+    },
+    /// Client uplink: one local update with its measurements.
+    Update {
+        /// Round the client is answering.
+        round: usize,
+        /// Attempt the client is answering.
+        attempt: usize,
+        /// Client index (echoed; the server cross-checks it against the
+        /// handshake).
+        client_id: usize,
+        /// Local training samples (FedAvg weight).
+        samples: usize,
+        /// Local training wall time in seconds.
+        train_s: f64,
+        /// Compression wall time in seconds.
+        compress_s: f64,
+        /// Uncompressed update size in bytes.
+        raw_bytes: usize,
+        /// FedSZ-compressed local update.
+        payload: CompressedUpdate,
+    },
+    /// Server downlink: the run is over, the client should exit.
+    Stop,
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The stream ended in the middle of a frame.
+    UnexpectedEof,
+    /// No frame started before the socket read timeout — the peer is idle.
+    Idle,
+    /// A frame started but stalled longer than the per-frame budget.
+    Stalled,
+    /// The first four bytes were not the frame magic (desynchronised peer).
+    BadMagic,
+    /// The checksum did not match: bytes were corrupted in flight.
+    BadCrc {
+        /// CRC recorded in the frame trailer.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        actual: u32,
+    },
+    /// The CRC matched but the body failed validation.
+    BadBody(&'static str),
+    /// The length prefix exceeds [`MAX_BODY`].
+    TooLarge(usize),
+    /// Any other socket-level failure.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::UnexpectedEof => write!(f, "connection dropped mid-frame"),
+            WireError::Idle => write!(f, "no frame before the read timeout"),
+            WireError::Stalled => write!(f, "frame stalled past the per-frame budget"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadCrc { expected, actual } => {
+                write!(f, "frame CRC mismatch ({expected:#010x} vs {actual:#010x})")
+            }
+            WireError::BadBody(m) => write!(f, "bad frame body: {m}"),
+            WireError::TooLarge(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            WireError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn frame_kind(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Hello { .. } => K_HELLO,
+        Frame::Broadcast { .. } => K_BROADCAST,
+        Frame::Update { .. } => K_UPDATE,
+        Frame::Stop => K_STOP,
+    }
+}
+
+fn encode_body(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::new();
+    match frame {
+        Frame::Hello { client_id } => varint::write_usize(&mut body, *client_id),
+        Frame::Broadcast {
+            round,
+            attempt,
+            model,
+        } => {
+            varint::write_usize(&mut body, *round);
+            varint::write_usize(&mut body, *attempt);
+            varint::write_usize(&mut body, model.nbytes());
+            body.extend_from_slice(model.as_bytes());
+        }
+        Frame::Update {
+            round,
+            attempt,
+            client_id,
+            samples,
+            train_s,
+            compress_s,
+            raw_bytes,
+            payload,
+        } => {
+            varint::write_usize(&mut body, *round);
+            varint::write_usize(&mut body, *attempt);
+            varint::write_usize(&mut body, *client_id);
+            varint::write_usize(&mut body, *samples);
+            body.extend_from_slice(&train_s.to_bits().to_le_bytes());
+            body.extend_from_slice(&compress_s.to_bits().to_le_bytes());
+            varint::write_usize(&mut body, *raw_bytes);
+            varint::write_usize(&mut body, payload.nbytes());
+            body.extend_from_slice(payload.as_bytes());
+        }
+        Frame::Stop => {}
+    }
+    body
+}
+
+/// Serialize a frame into its wire bytes (header + body + CRC trailer).
+///
+/// Panics if the body would exceed [`MAX_BODY`] — the transport never
+/// produces such frames (the largest payload is one compressed model).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let body = encode_body(frame);
+    assert!(
+        body.len() <= MAX_BODY,
+        "frame body of {} bytes exceeds MAX_BODY",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(frame_kind(frame));
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    let mut crc = Crc32::new();
+    crc.update(&out[4..]);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out
+}
+
+/// Decode one frame from a complete in-memory buffer (tests and fuzzing).
+/// The buffer must contain exactly one frame.
+pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+    let mut cursor = buf;
+    let frame = read_frame(&mut cursor, Duration::from_secs(1))?;
+    if !cursor.is_empty() {
+        return Err(WireError::BadBody("trailing bytes after frame"));
+    }
+    Ok(frame)
+}
+
+/// Fill `buf` from `r`, tolerating short reads and transient timeouts.
+///
+/// `started` marks whether earlier bytes of this frame were already
+/// consumed: a clean EOF or a read timeout before any byte of the frame is
+/// [`WireError::Closed`] / [`WireError::Idle`]; the same events mid-frame
+/// are [`WireError::UnexpectedEof`] / [`WireError::Stalled`] (the latter
+/// once `deadline` — armed at the first byte — has passed).
+fn read_full<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    started: bool,
+    deadline: &mut Option<Instant>,
+    budget: Duration,
+) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started || filled > 0 {
+                    WireError::UnexpectedEof
+                } else {
+                    WireError::Closed
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                if deadline.is_none() {
+                    *deadline = Some(Instant::now() + budget);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !started && filled == 0 {
+                    return Err(WireError::Idle);
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= *d {
+                        return Err(WireError::Stalled);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Read and validate one frame.
+///
+/// `frame_budget` bounds how long a frame may take once its first byte
+/// arrived (enforced at the granularity of the socket read timeout; with no
+/// read timeout configured the read blocks, mirroring the channel
+/// transport's behaviour without a deadline).
+pub fn read_frame<R: Read>(r: &mut R, frame_budget: Duration) -> Result<Frame, WireError> {
+    let mut deadline = None;
+    let mut header = [0u8; HEADER_LEN];
+    read_full(r, &mut header, false, &mut deadline, frame_budget)?;
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let kind = header[4];
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len > MAX_BODY {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut rest = vec![0u8; len + TRAILER_LEN];
+    read_full(r, &mut rest, true, &mut deadline, frame_budget)?;
+    let expected = u32::from_le_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+    let mut crc = Crc32::new();
+    crc.update(&header[4..]);
+    crc.update(&rest[..len]);
+    let actual = crc.finish();
+    if actual != expected {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    decode_body(kind, &rest[..len])
+}
+
+/// Write one frame, returning the number of bytes put on the wire.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize, WireError> {
+    write_frame_bytes(w, &encode(frame))
+}
+
+/// Write pre-encoded frame bytes (one broadcast is encoded once and written
+/// to every client).
+pub fn write_frame_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> Result<usize, WireError> {
+    w.write_all(bytes).map_err(|e| WireError::Io(e.kind()))?;
+    w.flush().map_err(|e| WireError::Io(e.kind()))?;
+    Ok(bytes.len())
+}
+
+fn rd(body: &[u8], pos: &mut usize) -> Result<usize, WireError> {
+    varint::read_usize(body, pos).map_err(|_| WireError::BadBody("bad varint"))
+}
+
+fn rd_f64(body: &[u8], pos: &mut usize) -> Result<f64, WireError> {
+    let end = pos
+        .checked_add(8)
+        .ok_or(WireError::BadBody("f64 offset overflows"))?;
+    let bytes = body
+        .get(*pos..end)
+        .ok_or(WireError::BadBody("truncated f64"))?;
+    *pos = end;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(bytes);
+    Ok(f64::from_bits(u64::from_le_bytes(raw)))
+}
+
+fn rd_bytes(body: &[u8], pos: &mut usize) -> Result<Vec<u8>, WireError> {
+    let n = rd(body, pos)?;
+    let end = pos
+        .checked_add(n)
+        .ok_or(WireError::BadBody("byte length overflows"))?;
+    let bytes = body
+        .get(*pos..end)
+        .ok_or(WireError::BadBody("truncated byte payload"))?;
+    *pos = end;
+    Ok(bytes.to_vec())
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, WireError> {
+    let mut pos = 0usize;
+    let frame = match kind {
+        K_HELLO => Frame::Hello {
+            client_id: rd(body, &mut pos)?,
+        },
+        K_BROADCAST => Frame::Broadcast {
+            round: rd(body, &mut pos)?,
+            attempt: rd(body, &mut pos)?,
+            model: CompressedUpdate::from_bytes(rd_bytes(body, &mut pos)?),
+        },
+        K_UPDATE => Frame::Update {
+            round: rd(body, &mut pos)?,
+            attempt: rd(body, &mut pos)?,
+            client_id: rd(body, &mut pos)?,
+            samples: rd(body, &mut pos)?,
+            train_s: rd_f64(body, &mut pos)?,
+            compress_s: rd_f64(body, &mut pos)?,
+            raw_bytes: rd(body, &mut pos)?,
+            payload: CompressedUpdate::from_bytes(rd_bytes(body, &mut pos)?),
+        },
+        K_STOP => Frame::Stop,
+        _ => return Err(WireError::BadBody("unknown frame kind")),
+    };
+    if pos != body.len() {
+        return Err(WireError::BadBody("trailing bytes in body"));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { client_id: 3 },
+            Frame::Broadcast {
+                round: 7,
+                attempt: 1,
+                model: CompressedUpdate::from_bytes(vec![1, 2, 3, 4, 5]),
+            },
+            Frame::Update {
+                round: 7,
+                attempt: 1,
+                client_id: 2,
+                samples: 192,
+                train_s: 0.125,
+                compress_s: 0.0625,
+                raw_bytes: 123_456,
+                payload: CompressedUpdate::from_bytes(vec![9; 300]),
+            },
+            Frame::Stop,
+        ]
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            assert_eq!(decode(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn timings_round_trip_bit_exact() {
+        let frame = Frame::Update {
+            round: 0,
+            attempt: 0,
+            client_id: 0,
+            samples: 1,
+            train_s: 1.0 / 3.0,
+            compress_s: f64::MIN_POSITIVE,
+            raw_bytes: 0,
+            payload: CompressedUpdate::from_bytes(vec![]),
+        };
+        let Frame::Update {
+            train_s,
+            compress_s,
+            ..
+        } = decode(&encode(&frame)).unwrap()
+        else {
+            panic!("wrong frame kind");
+        };
+        assert_eq!(train_s.to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(compress_s.to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // Flip every bit in a small frame: either the CRC catches it or the
+        // magic/framing check does. Nothing decodes successfully.
+        let bytes = encode(&Frame::Hello { client_id: 5 });
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                assert!(decode(&bad).is_err(), "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_unexpected_eof_and_empty_is_closed() {
+        let bytes = encode(&sample_frames().remove(2));
+        for cut in 1..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, WireError::UnexpectedEof, "cut {cut}");
+        }
+        assert_eq!(decode(&[]).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_without_allocation() {
+        let mut bytes = encode(&Frame::Stop);
+        // Overwrite the length field with u32::MAX.
+        bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            WireError::TooLarge(u32::MAX as usize)
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_are_rejected() {
+        let mut bytes = encode(&Frame::Stop);
+        bytes[4] = 99;
+        // Fix up the CRC so only the kind is wrong.
+        let body_end = bytes.len() - TRAILER_LEN;
+        let mut crc = Crc32::new();
+        crc.update(&bytes[4..body_end]);
+        let fixed = crc.finish().to_le_bytes();
+        bytes[body_end..].copy_from_slice(&fixed);
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            WireError::BadBody("unknown frame kind")
+        );
+
+        let mut two = encode(&Frame::Stop);
+        two.extend_from_slice(&encode(&Frame::Stop));
+        assert_eq!(
+            decode(&two).unwrap_err(),
+            WireError::BadBody("trailing bytes after frame")
+        );
+    }
+
+    #[test]
+    fn random_bytes_never_panic() {
+        let mut rng = fedsz_tensor::SplitMix64::new(0xC0FFEE);
+        for _ in 0..500 {
+            let len = rng.below(64);
+            let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            assert!(decode(&junk).is_err());
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_framed() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        let mut cursor = &stream[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor, Duration::from_secs(1)).unwrap(), f);
+        }
+        assert_eq!(
+            read_frame(&mut cursor, Duration::from_secs(1)).unwrap_err(),
+            WireError::Closed
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Hostile-input sweeps over the two untrusted decoders: `fedsz::decompress`
+//! (the update bitstream) and `fedsz_fl::wire::decode` (the TCP frame
+//! codec). Hundreds of seeded random streams and systematically flipped
+//! bits — the decoders must return `Err` (or, for flips landing in lossy
+//! payload values, at worst decode different numbers) and must never panic.
+
+use fedsz::{compress, decompress, CompressedUpdate, FedSzConfig};
+use fedsz_fl::wire;
+use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
+use std::time::Duration;
+
+fn sample_update() -> CompressedUpdate {
+    let mut rng = SplitMix64::new(0xB17F11B);
+    let mut sd = StateDict::new();
+    let w: Vec<f32> = (0..4096)
+        .map(|_| rng.normal_with(0.0, 0.05) as f32)
+        .collect();
+    sd.insert("conv.weight", TensorKind::Weight, Tensor::from_vec(w));
+    let b: Vec<f32> = (0..64).map(|_| rng.normal_with(0.0, 0.01) as f32).collect();
+    sd.insert(
+        "bn.running_mean",
+        TensorKind::RunningMean,
+        Tensor::from_vec(b),
+    );
+    compress(
+        &sd,
+        &FedSzConfig {
+            threshold: 128,
+            ..FedSzConfig::default()
+        },
+    )
+}
+
+#[test]
+fn hundreds_of_random_streams_never_decode_and_never_panic() {
+    // 400 seeded random byte streams across a spread of lengths: none is a
+    // valid FedSZ stream (the magic alone makes that astronomically
+    // unlikely), so every single one must be rejected with an error.
+    let mut rng = SplitMix64::new(0xDEAD_BEEF);
+    for case in 0..400 {
+        let len = rng.below(2048);
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(
+            decompress(&CompressedUpdate::from_bytes(junk)).is_err(),
+            "random stream #{case} of {len} bytes decoded"
+        );
+    }
+}
+
+#[test]
+fn hundreds_of_random_wire_frames_never_decode_and_never_panic() {
+    let mut rng = SplitMix64::new(0xFEED_F00D);
+    for case in 0..400 {
+        let len = rng.below(512);
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(wire::decode(&junk).is_err(), "random frame #{case} decoded");
+    }
+}
+
+#[test]
+fn seeded_bit_flips_on_a_valid_stream_never_panic() {
+    // 300 random single-bit flips over a valid update. Flips in headers,
+    // lengths, or lossless payloads must be detected; flips inside lossy
+    // payload values may legally decode to different numbers — but nothing
+    // is allowed to panic.
+    let bytes = sample_update().into_bytes();
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..300 {
+        let mut bad = bytes.clone();
+        let pos = rng.below(bad.len());
+        let bit = (rng.next_u64() % 8) as u8;
+        bad[pos] ^= 1 << bit;
+        let _ = decompress(&CompressedUpdate::from_bytes(bad));
+    }
+}
+
+#[test]
+fn every_magic_bit_flip_is_always_an_error() {
+    // The self-describing header is the first line of defence: any flip in
+    // the 4-byte magic must fail outright, not just "probably fail".
+    let bytes = sample_update().into_bytes();
+    for pos in 0..4 {
+        for bit in 0..8 {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 1 << bit;
+            assert!(
+                decompress(&CompressedUpdate::from_bytes(bad)).is_err(),
+                "magic flip at byte {pos} bit {bit} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncate_then_flip_never_panics() {
+    // Compound hostility: cut the stream short *and* flip a bit in what is
+    // left — the recipe a dying connection plus a faulty NIC would produce.
+    let bytes = sample_update().into_bytes();
+    let mut rng = SplitMix64::new(0x7A1E);
+    for _ in 0..300 {
+        let cut = 1 + rng.below(bytes.len() - 1);
+        let mut bad = bytes[..cut].to_vec();
+        let pos = rng.below(bad.len());
+        bad[pos] ^= 1 << (rng.next_u64() % 8);
+        assert!(
+            decompress(&CompressedUpdate::from_bytes(bad)).is_err(),
+            "truncated-to-{cut} + flipped stream decoded"
+        );
+    }
+}
+
+#[test]
+fn wire_frames_carrying_flipped_updates_are_caught_by_the_crc() {
+    // Wrap a valid update in a wire frame, then flip one body bit: the
+    // frame CRC must catch every one of them before FedSZ decoding even
+    // runs — this is the transport's `rejected` path.
+    let frame = wire::Frame::Update {
+        round: 3,
+        attempt: 0,
+        client_id: 1,
+        samples: 32,
+        train_s: 0.5,
+        compress_s: 0.125,
+        raw_bytes: 16_640,
+        payload: sample_update(),
+    };
+    let bytes = wire::encode(&frame);
+    let mut rng = SplitMix64::new(0xC4C);
+    for _ in 0..300 {
+        let mut bad = bytes.clone();
+        let pos = rng.below(bad.len());
+        bad[pos] ^= 1 << (rng.next_u64() % 8);
+        assert!(wire::decode(&bad).is_err(), "flipped frame decoded");
+    }
+}
+
+#[test]
+fn streamed_hostile_bytes_never_hang_the_frame_reader() {
+    // Random bytes fed through the streaming reader (not just the in-memory
+    // decoder): every read must terminate promptly with an error, because a
+    // reader that blocks or spins on garbage would wedge a server thread.
+    let mut rng = SplitMix64::new(0x0FF1CE);
+    for _ in 0..200 {
+        let len = rng.below(256);
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let mut cursor = &junk[..];
+        let mut frames = 0usize;
+        while wire::read_frame(&mut cursor, Duration::from_millis(100)).is_ok() {
+            frames += 1;
+            assert!(frames < 64, "runaway frame parse on garbage");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end tests of the TCP transport over loopback: determinism
+//! against the channel and in-process paths, and chaos scenarios — frames
+//! cut mid-stream, bytes flipped past the checksum, clients that drop
+//! their connection and rejoin via backoff — with exact, deterministic
+//! fault accounting.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use fedsz_fl::{
+    run_tcp_client, run_tcp_with, run_threaded_with, FaultPlan, FlConfig, FlError, NetConfig,
+    TransportConfig,
+};
+
+/// Small, fast FL setup (mirrors tests/fault_injection.rs).
+fn fl_cfg(n_clients: usize, rounds: usize) -> FlConfig {
+    FlConfig {
+        dataset: fedsz_dnn::DatasetKind::FashionMnistLike,
+        n_clients,
+        rounds,
+        samples_per_client: 32,
+        test_samples: 48,
+        batch_size: 16,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        seed: 7,
+        ..FlConfig::default()
+    }
+}
+
+/// Quick reconnects so rejoin scenarios settle in milliseconds.
+fn fast_net() -> NetConfig {
+    NetConfig {
+        backoff_base: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(200),
+        rejoin_grace: Duration::from_secs(5),
+        ..NetConfig::default()
+    }
+}
+
+/// A generous deadline that never fires in a healthy run but turns any
+/// unexpected hang into a counted straggler instead of a stuck test.
+fn backstop() -> TransportConfig {
+    TransportConfig {
+        round_deadline: Some(Duration::from_secs(60)),
+        ..TransportConfig::default()
+    }
+}
+
+fn per_round(result: &fedsz_fl::FlRunResult) -> Vec<(usize, usize, usize, usize)> {
+    result
+        .rounds
+        .iter()
+        .map(|r| {
+            (
+                r.faults.delivered,
+                r.faults.rejected,
+                r.faults.late,
+                r.faults.dropped,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_matches_threaded_and_sequential_exactly() {
+    // The acceptance bar: the same seeds produce bit-identical per-round
+    // accuracies whether updates move in-process, over channels, or over
+    // real TCP sockets with the framed wire protocol in between.
+    let cfg = fl_cfg(4, 3);
+    let sequential = fedsz_fl::run(&cfg).expect("sequential run");
+    let threaded = fedsz_fl::run_threaded(&cfg).expect("threaded run");
+    let tcp = fedsz_fl::run_tcp(&cfg).expect("tcp run");
+
+    let a: Vec<f64> = sequential.rounds.iter().map(|r| r.accuracy).collect();
+    let b: Vec<f64> = threaded.rounds.iter().map(|r| r.accuracy).collect();
+    let c: Vec<f64> = tcp.rounds.iter().map(|r| r.accuracy).collect();
+    assert_eq!(a, b, "threaded diverged from sequential");
+    assert_eq!(b, c, "tcp diverged from threaded");
+
+    // Over TCP both directions are real bytes on a real socket.
+    for r in &tcp.rounds {
+        assert!(r.faults.is_clean(), "{:?}", r.faults);
+        assert!(r.bytes_on_wire > 0);
+        assert!(r.bytes_down_wire > 0);
+    }
+}
+
+#[test]
+fn disconnected_client_rejoins_via_backoff_with_exact_accounting() {
+    // Client 1 drops its connection in round 1 without answering, then
+    // reconnects with exponential backoff. The server counts exactly one
+    // late client that round and serves the rejoined connection from the
+    // next broadcast on — no other round is disturbed.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().disconnect(1, 1),
+        ..backstop()
+    };
+    let result = run_tcp_with(&fl_cfg(4, 4), &tcfg, &fast_net()).expect("tcp run");
+    assert_eq!(
+        per_round(&result),
+        vec![
+            (4, 0, 0, 0),
+            (3, 0, 1, 0), // the dropped connection runs out as late
+            (4, 0, 0, 0), // rejoined via backoff: full strength again
+            (4, 0, 0, 0),
+        ]
+    );
+    assert!(result.final_accuracy() > 0.2, "{}", result.final_accuracy());
+}
+
+#[test]
+fn truncated_frame_is_rejected_and_the_client_rejoins() {
+    // Client 2 sends only half its update frame and drops the connection:
+    // the server sees a mid-frame EOF, counts the half-frame as rejected,
+    // and the client is back for the next round.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().truncate_frame(2, 1),
+        ..backstop()
+    };
+    let result = run_tcp_with(&fl_cfg(4, 3), &tcfg, &fast_net()).expect("tcp run");
+    assert_eq!(
+        per_round(&result),
+        vec![(4, 0, 0, 0), (3, 1, 0, 0), (4, 0, 0, 0)]
+    );
+}
+
+#[test]
+fn flipped_bytes_fail_the_crc_without_losing_the_connection() {
+    // Client 0 flips 16 body bytes after the checksum was computed. The
+    // frame arrives whole, fails its CRC-32, and is rejected — while the
+    // connection (and every later round) survives untouched.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().flip_bytes(0, 1, 16),
+        ..backstop()
+    };
+    let result = run_tcp_with(&fl_cfg(4, 3), &tcfg, &fast_net()).expect("tcp run");
+    assert_eq!(
+        per_round(&result),
+        vec![(4, 0, 0, 0), (3, 1, 0, 0), (4, 0, 0, 0)]
+    );
+}
+
+#[test]
+fn crashed_tcp_client_is_late_then_dropped() {
+    // Client 2 exits for good in round 1: its EOF makes it late that round
+    // (no deadline needs to run out), and from the next broadcast on the
+    // slot is dropped after its one rejoin grace goes unused.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().crash(2, 1),
+        ..backstop()
+    };
+    let ncfg = NetConfig {
+        rejoin_grace: Duration::from_millis(200), // nobody is coming back
+        ..fast_net()
+    };
+    let result = run_tcp_with(&fl_cfg(4, 3), &tcfg, &ncfg).expect("tcp run");
+    assert_eq!(
+        per_round(&result),
+        vec![(4, 0, 0, 0), (3, 0, 1, 0), (3, 0, 0, 1)]
+    );
+}
+
+#[test]
+fn corrupt_payload_over_tcp_matches_channel_semantics_exactly() {
+    // A payload corrupted before framing passes the wire CRC (the wire is
+    // innocent) and fails FedSZ decoding at the server — byte-for-byte the
+    // same accounting and the same accuracies as the channel transport.
+    let cfg = fl_cfg(4, 3);
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().corrupt(1, 1),
+        ..TransportConfig::default()
+    };
+    let over_channels = run_threaded_with(&cfg, &tcfg).expect("threaded run");
+    let over_tcp = run_tcp_with(&cfg, &tcfg, &fast_net()).expect("tcp run");
+    assert_eq!(per_round(&over_channels), per_round(&over_tcp));
+    let a: Vec<f64> = over_channels.rounds.iter().map(|r| r.accuracy).collect();
+    let b: Vec<f64> = over_tcp.rounds.iter().map(|r| r.accuracy).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn quorum_not_met_over_tcp_is_a_typed_error() {
+    let tcfg = TransportConfig {
+        min_quorum: 2,
+        faults: FaultPlan::new().corrupt(0, 0).corrupt(1, 0),
+        ..backstop()
+    };
+    let err = run_tcp_with(&fl_cfg(2, 2), &tcfg, &fast_net()).unwrap_err();
+    assert_eq!(
+        err,
+        FlError::QuorumNotMet {
+            round: 0,
+            delivered: 0,
+            required: 2,
+        }
+    );
+}
+
+#[test]
+fn tcp_client_idle_timeout_exits_cleanly() {
+    // A server that accepts the connection and then goes silent (without
+    // closing it) must not trap the client forever: the idle timeout gets
+    // it out.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mute_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut hello = [0u8; 64];
+        use std::io::Read as _;
+        let _ = stream.read(&mut hello);
+        std::thread::sleep(Duration::from_secs(2)); // silence, not closure
+    });
+    let cfg = FlConfig {
+        n_clients: 1,
+        samples_per_client: 4,
+        test_samples: 4,
+        ..FlConfig::default()
+    };
+    let started = Instant::now();
+    run_tcp_client(
+        &addr.to_string(),
+        0,
+        &cfg,
+        Some(Duration::from_millis(300)),
+        &NetConfig::default(),
+    )
+    .expect("client exits cleanly");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "idle timeout did not fire"
+    );
+    mute_server.join().expect("mute server");
+}
