@@ -50,7 +50,7 @@ fn main() {
             for &rel in &FIG5_BOUNDS {
                 let cfg = FlConfig {
                     compression: FlConfig::with_fedsz(rel).compression,
-                    ..base_cfg
+                    ..base_cfg.clone()
                 };
                 let acc = fedsz_fl::run(&cfg).expect("fl run").final_accuracy();
                 println!(

@@ -278,6 +278,12 @@ pub struct FlOpts {
     pub retries: usize,
     /// Master seed.
     pub seed: u64,
+    /// Directory for durable round checkpoints.
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint every this many completed rounds.
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`.
+    pub resume: bool,
 }
 
 impl Default for FlOpts {
@@ -298,6 +304,9 @@ impl Default for FlOpts {
             min_quorum: 1,
             retries: 0,
             seed: 42,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         }
     }
 }
@@ -344,6 +353,21 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             opts.backoff_base_ms, opts.backoff_max_ms
         )));
     }
+    if opts.checkpoint_dir.is_none() && (opts.resume || opts.checkpoint_every != 1) {
+        return Err(CliError::Usage(
+            "--resume/--checkpoint-every require --checkpoint-dir".into(),
+        ));
+    }
+    if opts.checkpoint_every == 0 {
+        return Err(CliError::Usage(
+            "--checkpoint-every must be at least 1".into(),
+        ));
+    }
+    if opts.connect.is_some() && opts.checkpoint_dir.is_some() {
+        return Err(CliError::Usage(
+            "checkpoints are server-side; --checkpoint-dir conflicts with --connect".into(),
+        ));
+    }
     let cfg = FlConfig {
         rounds: opts.rounds,
         n_clients: opts.clients,
@@ -353,6 +377,9 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             ..fedsz::FedSzConfig::with_rel_bound(rel)
         }),
         seed: opts.seed,
+        checkpoint_dir: opts.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every: opts.checkpoint_every,
+        resume: opts.resume,
         ..FlConfig::default()
     };
     let idle = opts.idle_timeout_ms.map(Duration::from_millis);
@@ -405,9 +432,12 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             None => "uncompressed".into(),
         }
     );
+    if let Some(round) = result.resumed_from_round {
+        let _ = writeln!(out, "resumed from checkpointed round {round}");
+    }
     let _ = writeln!(
         out,
-        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>5} {:>8}",
+        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>11} {:>5} {:>8}",
         "round",
         "accuracy",
         "ratio",
@@ -415,13 +445,14 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         "down_kB",
         "delivered",
         "rejected",
+        "quarantined",
         "late",
         "dropped"
     );
     for r in &result.rounds {
         let _ = writeln!(
             out,
-            "{:>5} {:>8.1}% {:>7.2}x {:>8.1} {:>8.1} {:>9} {:>9} {:>5} {:>8}",
+            "{:>5} {:>8.1}% {:>7.2}x {:>8.1} {:>8.1} {:>9} {:>9} {:>11} {:>5} {:>8}",
             r.round,
             100.0 * r.accuracy,
             r.compression_ratio(),
@@ -429,6 +460,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             r.bytes_down_wire as f64 / 1e3,
             r.faults.delivered,
             r.faults.rejected,
+            r.faults.quarantined,
             r.faults.late,
             r.faults.dropped
         );
@@ -437,12 +469,13 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "final accuracy {:.1}%; wire: {:.1} kB up, {:.1} kB down; \
-         participation: {} delivered, {} rejected, {} late, {} dropped",
+         participation: {} delivered, {} rejected, {} quarantined, {} late, {} dropped",
         100.0 * result.final_accuracy(),
         result.total_bytes_up() as f64 / 1e3,
         result.total_bytes_down() as f64 / 1e3,
         f.delivered,
         f.rejected,
+        f.quarantined,
         f.late,
         f.dropped
     );

@@ -12,6 +12,7 @@
 //!                       [--retries R] [--seed S] [--idle-timeout-ms I]
 //!                       [--listen HOST:PORT | --connect HOST:PORT --client-id N]
 //!                       [--backoff-base-ms B] [--backoff-max-ms M]
+//!                       [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
 //! ```
 //!
 //! `--threaded` is a legacy alias for `--transport threaded`. With
@@ -127,6 +128,9 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
                 min_quorum: opts.parsed_or("--min-quorum", defaults.min_quorum)?,
                 retries: opts.parsed_or("--retries", defaults.retries)?,
                 seed: opts.parsed_or("--seed", defaults.seed)?,
+                checkpoint_dir: opts.value("--checkpoint-dir").map(str::to_owned),
+                checkpoint_every: opts.parsed_or("--checkpoint-every", defaults.checkpoint_every)?,
+                resume: opts.flag("--resume"),
             };
             cmd_fl(&fl)
         }

@@ -80,25 +80,8 @@ impl CompressedUpdate {
     }
 }
 
-fn kind_tag(kind: TensorKind) -> u8 {
-    match kind {
-        TensorKind::Weight => 0,
-        TensorKind::Bias => 1,
-        TensorKind::RunningMean => 2,
-        TensorKind::RunningVar => 3,
-        TensorKind::Counter => 4,
-    }
-}
-
 fn kind_from_tag(tag: u8) -> Result<TensorKind, CodecError> {
-    Ok(match tag {
-        0 => TensorKind::Weight,
-        1 => TensorKind::Bias,
-        2 => TensorKind::RunningMean,
-        3 => TensorKind::RunningVar,
-        4 => TensorKind::Counter,
-        _ => return Err(CodecError::Corrupt("unknown tensor kind tag")),
-    })
+    TensorKind::from_tag(tag).ok_or(CodecError::Corrupt("unknown tensor kind tag"))
 }
 
 /// Compress a state dict, also returning per-entry statistics.
@@ -129,7 +112,7 @@ pub fn compress_with_stats(sd: &StateDict, cfg: &FedSzConfig) -> (CompressedUpda
     for (e, (route, payload)) in sd.entries().iter().zip(&compressed) {
         varint::write_usize(&mut out, e.name.len());
         out.extend_from_slice(e.name.as_bytes());
-        out.push(kind_tag(e.kind));
+        out.push(e.kind.tag());
         varint::write_usize(&mut out, e.tensor.ndim());
         for &d in e.tensor.shape() {
             varint::write_usize(&mut out, d);
@@ -264,7 +247,10 @@ pub fn decompress_with_stats(update: &CompressedUpdate) -> Result<(StateDict, f6
         if numel != values.len() {
             return Err(CodecError::Corrupt("decoded length does not match shape"));
         }
-        sd.insert(hdr.name, hdr.kind, Tensor::new(hdr.shape, values));
+        // A hostile stream can carry two entries with the same name;
+        // `StateDict::insert` would panic on that, so use the fallible path.
+        sd.try_insert(hdr.name, hdr.kind, Tensor::new(hdr.shape, values))
+            .map_err(|_| CodecError::Corrupt("duplicate entry name"))?;
     }
     Ok((sd, t0.elapsed().as_secs_f64()))
 }
@@ -394,6 +380,22 @@ mod tests {
         let sd = StateDict::new();
         let back = decompress(&compress(&sd, &FedSzConfig::default())).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn duplicate_entry_names_rejected_not_panicked() {
+        let mut sd = StateDict::new();
+        sd.insert("w.weight", TensorKind::Weight, Tensor::from_vec(vec![1.0]));
+        let bytes = compress(&sd, &FedSzConfig::default()).into_bytes();
+        // Header is magic(4) + lossy tag + lossless tag + varint count; for a
+        // single entry the count occupies one byte at offset 6. Double the
+        // count and splice the entry frame in twice.
+        let mut hostile = bytes[..6].to_vec();
+        hostile.push(2);
+        hostile.extend_from_slice(&bytes[7..]);
+        hostile.extend_from_slice(&bytes[7..]);
+        let err = decompress(&CompressedUpdate::from_bytes(hostile)).unwrap_err();
+        assert_eq!(err, CodecError::Corrupt("duplicate entry name"));
     }
 
     #[test]

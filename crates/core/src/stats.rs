@@ -30,15 +30,20 @@ impl EntryStats {
 ///
 /// A fault-tolerant server aggregates over whichever subset of clients
 /// delivered a valid update in time; these counters make the degradation
-/// observable round by round. `delivered + rejected + late` equals the
-/// number of clients the round expected an answer from, and `dropped`
-/// counts clients excluded up front because their channel was already gone.
+/// observable round by round. `delivered + rejected + quarantined + late`
+/// equals the number of clients the round expected an answer from, and
+/// `dropped` counts clients excluded up front because their channel was
+/// already gone.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Clients whose valid update made it into the aggregate.
     pub delivered: usize,
     /// Clients whose update arrived but failed validation (corrupt payload).
     pub rejected: usize,
+    /// Clients whose update decoded cleanly but was rejected by semantic
+    /// validation before aggregation (non-finite tensors, wrong shapes,
+    /// hostile sample counts).
+    pub quarantined: usize,
     /// Clients that missed the round deadline (stragglers and clients that
     /// died mid-round without closing their channel in time).
     pub late: usize,
@@ -58,7 +63,7 @@ impl FaultCounters {
 
     /// Clients that did not contribute to the aggregate this round.
     pub fn failed(&self) -> usize {
-        self.rejected + self.late + self.dropped
+        self.rejected + self.quarantined + self.late + self.dropped
     }
 
     /// Clients the round was configured with (participants plus exclusions).

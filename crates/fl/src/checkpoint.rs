@@ -1,0 +1,490 @@
+//! Durable round checkpoints: crash recovery for the FL server.
+//!
+//! After each completed round the server can persist its entire resumable
+//! state — the round index, the aggregated global model, and every
+//! accumulated [`RoundMetrics`] row — to a versioned, CRC-32-trailed file.
+//! A server that is SIGKILL'd mid-run and restarted with `--resume` picks
+//! up from the newest valid checkpoint and, because every per-round client
+//! RNG is derived from `(seed, round, client id)` and
+//! `load_state_dict` resets optimizer momentum, reproduces the
+//! uninterrupted run's final model bit for bit.
+//!
+//! # On-disk format (`round-XXXXXXXX.ckpt`)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "FCP1"
+//! 4       8     config fingerprint (FNV-1a 64 over the trajectory fields)
+//! 12      8     last completed round index
+//! 20      8     number of accumulated metrics rows (= round + 1)
+//! 28      …     rows: round, accuracy, train_s, compress_s, decompress_s,
+//!               bytes up/down/uncompressed, five fault counters
+//!               (u64 / f64-as-bits, little-endian)
+//! …       8+n   global model: u64 byte length + `StateDict::to_bytes`
+//! end-4   4     CRC-32 (IEEE) over bytes 4..end-4
+//! ```
+//!
+//! # Atomic-write protocol
+//!
+//! `save` writes to a dot-prefixed temp file in the same directory, fsyncs
+//! it, renames it over the final name, then fsyncs the directory — so a
+//! crash at any point leaves either the previous checkpoint set or the new
+//! one, never a half-written file under a valid name. `load_latest` scans
+//! newest-first and skips damaged or foreign (fingerprint-mismatched)
+//! files, so a torn write at the tail of the sequence costs one round of
+//! recomputation, not the run.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use fedsz::FaultCounters;
+use fedsz_entropy::crc32::Crc32;
+use fedsz_tensor::StateDict;
+
+use crate::error::FlError;
+use crate::session::{FlConfig, RoundMetrics};
+
+/// Checkpoint magic: "FCP" + format version 1.
+const MAGIC: [u8; 4] = *b"FCP1";
+
+/// Fixed-size prefix: magic + fingerprint + round + row count.
+const HEADER_LEN: usize = 4 + 8 + 8 + 8;
+
+/// Bytes per serialized [`RoundMetrics`] row (13 × 8).
+const ROW_LEN: usize = 13 * 8;
+
+/// Ceiling on an on-disk checkpoint (64 MiB). The scaled model analogues
+/// are a few hundred KiB; anything near this bound is hostile or corrupt,
+/// and the cap keeps a forged length field from ballooning an allocation.
+pub const MAX_CHECKPOINT_BYTES: u64 = 64 << 20;
+
+/// Ceiling on the accumulated-rounds count a checkpoint may claim.
+const MAX_ROUNDS: u64 = 1 << 20;
+
+/// Everything needed to resume an FL run after the round it names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the config that produced this trajectory.
+    pub fingerprint: u64,
+    /// Last completed (aggregated and evaluated) round index.
+    pub round: usize,
+    /// Global model after `round`'s aggregation.
+    pub global: StateDict,
+    /// Accumulated metrics for rounds `0..=round`.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+/// Fingerprint of every `FlConfig` field that determines the training
+/// trajectory. Deliberately excludes `rounds` (so a run can be resumed
+/// with a longer horizon) and the checkpoint fields themselves (where a
+/// checkpoint lives does not change what it contains); everything else —
+/// seed, population, architecture, data, optimizer, compression — must
+/// match or a resume would silently splice two different experiments.
+pub fn config_fingerprint(cfg: &FlConfig) -> u64 {
+    // The Debug rendering of the trajectory fields is stable within a
+    // build of this workspace, which is the scope a checkpoint targets;
+    // float fields go in as exact bit patterns.
+    let key = format!(
+        "{:?}|{:?}|{}|{}|{}|{}|{:x}|{:x}|{}|{}|{:?}|{:?}",
+        cfg.arch,
+        cfg.dataset,
+        cfg.n_clients,
+        cfg.local_epochs,
+        cfg.batch_size,
+        cfg.seed,
+        cfg.lr.to_bits(),
+        cfg.momentum.to_bits(),
+        cfg.samples_per_client,
+        cfg.test_samples,
+        cfg.compression,
+        cfg.dirichlet_alpha.map(f64::to_bits),
+    );
+    // FNV-1a 64.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn corrupt(what: &str) -> FlError {
+    FlError::Checkpoint(format!("corrupt checkpoint: {what}"))
+}
+
+impl Checkpoint {
+    /// Snapshot the server state after `rounds.last()`'s aggregation.
+    pub fn new(cfg: &FlConfig, global: StateDict, rounds: &[RoundMetrics]) -> Self {
+        let round = rounds.last().map_or(0, |r| r.round);
+        Self {
+            fingerprint: config_fingerprint(cfg),
+            round,
+            global,
+            rounds: rounds.to_vec(),
+        }
+    }
+
+    /// Serialize to the on-disk layout, CRC-32 trailer included.
+    pub fn encode(&self) -> Vec<u8> {
+        let sd_bytes = self.global.to_bytes();
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + self.rounds.len() * ROW_LEN + 12 + sd_bytes.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.round as u64).to_le_bytes());
+        out.extend_from_slice(&(self.rounds.len() as u64).to_le_bytes());
+        for r in &self.rounds {
+            out.extend_from_slice(&(r.round as u64).to_le_bytes());
+            out.extend_from_slice(&r.accuracy.to_bits().to_le_bytes());
+            out.extend_from_slice(&r.train_s_total.to_bits().to_le_bytes());
+            out.extend_from_slice(&r.compress_s_total.to_bits().to_le_bytes());
+            out.extend_from_slice(&r.decompress_s_total.to_bits().to_le_bytes());
+            out.extend_from_slice(&(r.bytes_on_wire as u64).to_le_bytes());
+            out.extend_from_slice(&(r.bytes_down_wire as u64).to_le_bytes());
+            out.extend_from_slice(&(r.bytes_uncompressed as u64).to_le_bytes());
+            out.extend_from_slice(&(r.faults.delivered as u64).to_le_bytes());
+            out.extend_from_slice(&(r.faults.rejected as u64).to_le_bytes());
+            out.extend_from_slice(&(r.faults.quarantined as u64).to_le_bytes());
+            out.extend_from_slice(&(r.faults.late as u64).to_le_bytes());
+            out.extend_from_slice(&(r.faults.dropped as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(sd_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&sd_bytes);
+        let mut crc = Crc32::new();
+        crc.update(&out[4..]);
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out
+    }
+
+    /// Deserialize and fully validate an on-disk checkpoint. Every failure
+    /// mode — truncation, oversize, bad magic, bad CRC, hostile lengths,
+    /// an embedded state dict that does not decode — is an
+    /// [`FlError::Checkpoint`], never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, FlError> {
+        if bytes.len() as u64 > MAX_CHECKPOINT_BYTES {
+            return Err(corrupt("file exceeds the size cap"));
+        }
+        if bytes.len() < HEADER_LEN + 8 + 4 {
+            return Err(corrupt("truncated"));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        // Verify the trailer before trusting any length field.
+        let body_end = bytes.len() - 4;
+        let expected = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+        let mut crc = Crc32::new();
+        crc.update(&bytes[4..body_end]);
+        if crc.finish() != expected {
+            return Err(corrupt("CRC-32 mismatch"));
+        }
+
+        let mut pos = 4usize;
+        let fingerprint = read_u64(bytes, &mut pos, body_end)?;
+        let round = read_u64(bytes, &mut pos, body_end)?;
+        let n_rounds = read_u64(bytes, &mut pos, body_end)?;
+        if n_rounds > MAX_ROUNDS {
+            return Err(corrupt("implausible round count"));
+        }
+        if n_rounds != round + 1 {
+            // The accumulated rows always cover rounds 0..=round.
+            return Err(corrupt("round count does not match the round index"));
+        }
+        let mut rounds = Vec::with_capacity(n_rounds as usize);
+        for i in 0..n_rounds {
+            let row_round = read_u64(bytes, &mut pos, body_end)?;
+            if row_round != i {
+                return Err(corrupt("metrics rows out of order"));
+            }
+            let accuracy = f64::from_bits(read_u64(bytes, &mut pos, body_end)?);
+            let train_s_total = f64::from_bits(read_u64(bytes, &mut pos, body_end)?);
+            let compress_s_total = f64::from_bits(read_u64(bytes, &mut pos, body_end)?);
+            let decompress_s_total = f64::from_bits(read_u64(bytes, &mut pos, body_end)?);
+            let bytes_on_wire = read_usize(bytes, &mut pos, body_end)?;
+            let bytes_down_wire = read_usize(bytes, &mut pos, body_end)?;
+            let bytes_uncompressed = read_usize(bytes, &mut pos, body_end)?;
+            let faults = FaultCounters {
+                delivered: read_usize(bytes, &mut pos, body_end)?,
+                rejected: read_usize(bytes, &mut pos, body_end)?,
+                quarantined: read_usize(bytes, &mut pos, body_end)?,
+                late: read_usize(bytes, &mut pos, body_end)?,
+                dropped: read_usize(bytes, &mut pos, body_end)?,
+            };
+            rounds.push(RoundMetrics {
+                round: row_round as usize,
+                accuracy,
+                train_s_total,
+                compress_s_total,
+                decompress_s_total,
+                bytes_on_wire,
+                bytes_down_wire,
+                bytes_uncompressed,
+                faults,
+            });
+        }
+        let sd_len = read_usize(bytes, &mut pos, body_end)?;
+        let sd_end = pos
+            .checked_add(sd_len)
+            .filter(|&e| e <= body_end)
+            .ok_or_else(|| corrupt("state-dict length out of bounds"))?;
+        let global = StateDict::from_bytes(&bytes[pos..sd_end])
+            .map_err(|e| corrupt(&format!("embedded state dict: {e}")))?;
+        if sd_end != body_end {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            round: round as usize,
+            global,
+            rounds,
+        })
+    }
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize, end: usize) -> Result<u64, FlError> {
+    let next = pos.checked_add(8).filter(|&n| n <= end);
+    let Some(next) = next else {
+        return Err(corrupt("truncated"));
+    };
+    let v = u64::from_le_bytes(bytes[*pos..next].try_into().unwrap());
+    *pos = next;
+    Ok(v)
+}
+
+fn read_usize(bytes: &[u8], pos: &mut usize, end: usize) -> Result<usize, FlError> {
+    usize::try_from(read_u64(bytes, pos, end)?).map_err(|_| corrupt("value exceeds usize"))
+}
+
+/// File name for the checkpoint of completed round `round`.
+pub fn file_name(round: usize) -> String {
+    format!("round-{round:08}.ckpt")
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> FlError {
+    FlError::Checkpoint(format!("{what} {}: {e}", path.display()))
+}
+
+/// Atomically persist `ckpt` into `dir` (created if missing): write to a
+/// temp file, fsync, rename over `round-XXXXXXXX.ckpt`, fsync the
+/// directory. Returns the final path.
+pub fn save(dir: &Path, ckpt: &Checkpoint) -> Result<PathBuf, FlError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("create checkpoint dir", dir, e))?;
+    let final_path = dir.join(file_name(ckpt.round));
+    let tmp_path = dir.join(format!(".{}.tmp", file_name(ckpt.round)));
+    {
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| io_err("create temp checkpoint", &tmp_path, e))?;
+        tmp.write_all(&ckpt.encode())
+            .map_err(|e| io_err("write checkpoint", &tmp_path, e))?;
+        tmp.sync_all()
+            .map_err(|e| io_err("fsync checkpoint", &tmp_path, e))?;
+    }
+    fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename checkpoint", &final_path, e))?;
+    // fsync the directory so the rename itself is durable; not every
+    // filesystem supports opening a directory, so failure is non-fatal.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Load and validate the checkpoint at `path`. Oversized, unreadable, and
+/// corrupt files are all [`FlError::Checkpoint`].
+pub fn load_file(path: &Path) -> Result<Checkpoint, FlError> {
+    let meta = fs::metadata(path).map_err(|e| io_err("stat checkpoint", path, e))?;
+    if meta.len() > MAX_CHECKPOINT_BYTES {
+        return Err(FlError::Checkpoint(format!(
+            "checkpoint {} exceeds the {} MiB size cap",
+            path.display(),
+            MAX_CHECKPOINT_BYTES >> 20
+        )));
+    }
+    let bytes = fs::read(path).map_err(|e| io_err("read checkpoint", path, e))?;
+    Checkpoint::decode(&bytes)
+}
+
+/// Load the newest valid checkpoint in `dir` whose fingerprint matches.
+///
+/// Scans `round-*.ckpt` newest-first; damaged files (truncated, bit-flipped,
+/// oversized) and checkpoints from a different config are skipped, so a
+/// torn write at the tail falls back to the previous round. Returns
+/// `Ok(None)` when the directory is missing, empty, or holds no usable
+/// checkpoint — the caller then starts from round 0.
+pub fn load_latest(dir: &Path, fingerprint: u64) -> Result<Option<Checkpoint>, FlError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read checkpoint dir", dir, e)),
+    };
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("round-") && n.ends_with(".ckpt"))
+        })
+        .collect();
+    // Zero-padded round numbers sort lexicographically; newest first.
+    candidates.sort();
+    for path in candidates.iter().rev() {
+        match load_file(path) {
+            Ok(ckpt) if ckpt.fingerprint == fingerprint => return Ok(Some(ckpt)),
+            Ok(_) | Err(_) => continue, // foreign or damaged: try an older one
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::{Tensor, TensorKind};
+
+    fn sample_ckpt(round: usize) -> Checkpoint {
+        let mut global = StateDict::new();
+        global.insert(
+            "conv.weight",
+            TensorKind::Weight,
+            Tensor::new(vec![2, 2], vec![0.5, -0.25, f32::MIN_POSITIVE, 3.0]),
+        );
+        let rounds: Vec<RoundMetrics> = (0..=round)
+            .map(|r| RoundMetrics {
+                round: r,
+                accuracy: 0.5 + r as f64 * 0.01,
+                train_s_total: 1.0,
+                compress_s_total: 0.25,
+                decompress_s_total: 0.125,
+                bytes_on_wire: 1000 + r,
+                bytes_down_wire: 2000,
+                bytes_uncompressed: 4000,
+                faults: FaultCounters {
+                    delivered: 4,
+                    quarantined: r,
+                    ..FaultCounters::default()
+                },
+            })
+            .collect();
+        Checkpoint {
+            fingerprint: config_fingerprint(&FlConfig::default()),
+            round,
+            global,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let ckpt = sample_ckpt(3);
+        let back = Checkpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error() {
+        let bytes = sample_ckpt(1).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_an_error() {
+        let bytes = sample_ckpt(0).encode();
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1;
+            assert!(
+                Checkpoint::decode(&mutated).is_err(),
+                "bit flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_rounds_and_checkpoint_fields() {
+        let a = FlConfig::default();
+        let mut b = FlConfig {
+            rounds: a.rounds + 7,
+            ..a.clone()
+        };
+        b.checkpoint_dir = Some(std::path::PathBuf::from("/somewhere/else"));
+        b.checkpoint_every = 5;
+        b.resume = true;
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_tracks_trajectory_fields() {
+        let a = FlConfig::default();
+        let b = FlConfig {
+            seed: a.seed + 1,
+            ..a.clone()
+        };
+        let c = FlConfig {
+            lr: a.lr * 2.0,
+            ..a.clone()
+        };
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn save_then_load_latest_round_trips() {
+        let dir = std::env::temp_dir().join(format!("fedsz-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ckpt = sample_ckpt(2);
+        let path = save(&dir, &ckpt).unwrap();
+        assert!(path.ends_with("round-00000002.ckpt"));
+        let loaded = load_latest(&dir, ckpt.fingerprint).unwrap().unwrap();
+        assert_eq!(loaded, ckpt);
+        // No temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_valid_wins_when_latest_is_damaged() {
+        let dir = std::env::temp_dir().join(format!("fedsz-ckpt-dmg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let older = sample_ckpt(1);
+        let newer = sample_ckpt(2);
+        save(&dir, &older).unwrap();
+        let newest = save(&dir, &newer).unwrap();
+        // Tear the newest file in half, as a crash mid-write would.
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let loaded = load_latest(&dir, older.fingerprint).unwrap().unwrap();
+        assert_eq!(loaded, older);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_fingerprints_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("fedsz-ckpt-fp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ckpt = sample_ckpt(0);
+        save(&dir, &ckpt).unwrap();
+        assert_eq!(load_latest(&dir, ckpt.fingerprint ^ 1).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_not_an_error() {
+        let dir = std::env::temp_dir().join("fedsz-ckpt-definitely-missing");
+        assert_eq!(load_latest(&dir, 0).unwrap(), None);
+    }
+}

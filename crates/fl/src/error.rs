@@ -34,6 +34,18 @@ pub enum FlError {
     /// binding the listener failed, no client joined within the join
     /// timeout, or a client-side option was invalid.
     Transport(String),
+    /// Checkpoint persistence or recovery failed: the directory is not
+    /// writable, an atomic rename failed, or resume was requested but no
+    /// valid checkpoint could be loaded.
+    Checkpoint(String),
+    /// The run was stopped by the [`FaultPlan`](crate::fault::FaultPlan)
+    /// server-kill hook after broadcasting `round` — the test double for a
+    /// SIGKILL mid-round. Rounds before `round` are already checkpointed;
+    /// `round` itself was lost in flight.
+    ServerKilled {
+        /// Round whose broadcast went out before the kill.
+        round: usize,
+    },
 }
 
 impl std::fmt::Display for FlError {
@@ -52,6 +64,10 @@ impl std::fmt::Display for FlError {
             }
             FlError::Codec(e) => write!(f, "update decode failed: {e}"),
             FlError::Transport(m) => write!(f, "transport error: {m}"),
+            FlError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            FlError::ServerKilled { round } => {
+                write!(f, "server killed after broadcasting round {round}")
+            }
         }
     }
 }

@@ -38,6 +38,16 @@ pub enum FaultKind {
     /// Over channels — which cannot be re-opened — this degenerates to
     /// [`FaultKind::Crash`].
     Disconnect,
+    /// Semantic-level: the client poisons its trained update with NaN
+    /// before (losslessly) compressing it, so the payload frames, CRCs and
+    /// decodes cleanly but fails the server's pre-aggregation validation
+    /// (counted `quarantined`).
+    NonFiniteUpdate,
+    /// Semantic-level: the client swaps one tensor of its update for a
+    /// wrongly-shaped one. Like [`FaultKind::NonFiniteUpdate`] the payload
+    /// decodes cleanly; validation rejects the structure mismatch
+    /// (counted `quarantined`).
+    WrongShape,
 }
 
 /// One planned fault: `client` misbehaves in `round`.
@@ -61,6 +71,9 @@ pub struct FaultSpec {
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     specs: Vec<FaultSpec>,
+    /// Kill the server after broadcasting this round (the SIGKILL double
+    /// behind the kill-and-resume tests).
+    server_kill: Option<usize>,
 }
 
 impl FaultPlan {
@@ -130,6 +143,43 @@ impl FaultPlan {
         self
     }
 
+    /// Plan `client` to send a cleanly-decoding but NaN-poisoned update in
+    /// `round` (quarantined by pre-aggregation validation).
+    pub fn non_finite(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::NonFiniteUpdate,
+        });
+        self
+    }
+
+    /// Plan `client` to send an update with one wrongly-shaped tensor in
+    /// `round` (quarantined by pre-aggregation validation).
+    pub fn wrong_shape(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::WrongShape,
+        });
+        self
+    }
+
+    /// Kill the server after it broadcasts `round`, before any update for
+    /// that round is collected — the deterministic stand-in for a SIGKILL
+    /// mid-round. The run aborts with
+    /// [`FlError::ServerKilled`](crate::error::FlError::ServerKilled);
+    /// checkpoints for earlier rounds survive on disk.
+    pub fn kill_server(mut self, round: usize) -> Self {
+        self.server_kill = Some(round);
+        self
+    }
+
+    /// The round after whose broadcast the server dies, if planned.
+    pub fn server_kill_round(&self) -> Option<usize> {
+        self.server_kill
+    }
+
     /// The fault planned for `(client, round)`, if any. The first matching
     /// spec wins.
     pub fn fault_for(&self, client: usize, round: usize) -> Option<FaultKind> {
@@ -139,14 +189,14 @@ impl FaultPlan {
             .map(|s| s.kind)
     }
 
-    /// Number of planned faults.
+    /// Number of planned client faults (the server kill is not counted).
     pub fn len(&self) -> usize {
         self.specs.len()
     }
 
-    /// `true` when no faults are planned.
+    /// `true` when no faults are planned, client- or server-side.
     pub fn is_empty(&self) -> bool {
-        self.specs.is_empty()
+        self.specs.is_empty() && self.server_kill.is_none()
     }
 }
 
@@ -199,5 +249,22 @@ mod tests {
         assert_eq!(plan.fault_for(1, 2), Some(FaultKind::FlipBytes(16)));
         assert_eq!(plan.fault_for(2, 3), Some(FaultKind::Disconnect));
         assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn semantic_fault_builders_accumulate() {
+        let plan = FaultPlan::new().non_finite(0, 1).wrong_shape(1, 2);
+        assert_eq!(plan.fault_for(0, 1), Some(FaultKind::NonFiniteUpdate));
+        assert_eq!(plan.fault_for(1, 2), Some(FaultKind::WrongShape));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn server_kill_is_a_fault_too() {
+        let plan = FaultPlan::new().kill_server(3);
+        assert!(!plan.is_empty(), "a planned kill is not an empty plan");
+        assert_eq!(plan.len(), 0, "but it is not a client fault");
+        assert_eq!(plan.server_kill_round(), Some(3));
+        assert_eq!(FaultPlan::new().server_kill_round(), None);
     }
 }

@@ -21,19 +21,31 @@
 //! CRC-32-checked frames of [`wire`] and gives clients reconnect with
 //! exponential backoff — run identical round semantics and, with the same
 //! seeds, produce bit-identical accuracies.
+//!
+//! The round loop is also crash-safe: with a [`FlConfig::checkpoint_dir`]
+//! set, every completed round can be persisted as an atomic, CRC-32-trailed
+//! checkpoint ([`checkpoint`]), and a server restarted with
+//! [`FlConfig::resume`] continues from the newest valid one to a
+//! bit-identical final model. Decoded updates are semantically validated
+//! ([`validate`]) against the broadcast model before FedAvg; mismatches are
+//! quarantined rather than aggregated.
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod error;
 pub mod fault;
 pub mod net;
 pub mod partition;
 pub mod session;
 pub mod transport;
+pub mod validate;
 pub mod wire;
 
 pub use aggregate::fedavg;
+pub use checkpoint::{config_fingerprint, Checkpoint};
 pub use error::FlError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use net::{run_tcp, run_tcp_client, run_tcp_with, serve_tcp, NetConfig};
 pub use session::{run, run_scheduled, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD};
 pub use transport::{run_threaded, run_threaded_with, TransportConfig};
+pub use validate::{validate_update, UpdateRejection, MAX_SAMPLES};

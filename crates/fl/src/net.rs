@@ -45,8 +45,8 @@ use crate::error::FlError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::session::{FlConfig, FlRunResult};
 use crate::transport::{
-    broadcast_config, local_round, serve, setup_data, BroadcastOutcome, ClientMsg, RecvEnd,
-    ServerTransport, TransportConfig, Uplink,
+    broadcast_config, local_round, poisoned_payload, serve, setup_data, BroadcastOutcome,
+    ClientMsg, RecvEnd, ServerTransport, TransportConfig, Uplink,
 };
 use crate::wire::{self, Frame, WireError};
 
@@ -711,6 +711,17 @@ fn tcp_client_loop(
                     reconnect_or_return!();
                 }
             }
+            Some(kind @ (FaultKind::NonFiniteUpdate | FaultKind::WrongShape)) => {
+                // Swap in the cleanly-decoding poisoned payload: the frame
+                // passes its CRC and the FedSZ decode, and only the
+                // server's semantic validation quarantines it.
+                if let Frame::Update { payload, .. } = &mut update {
+                    *payload = poisoned_payload(&net, kind);
+                }
+                if wire::write_frame(&mut stream, &update).is_err() {
+                    reconnect_or_return!();
+                }
+            }
             None => {
                 if wire::write_frame(&mut stream, &update).is_err() {
                     reconnect_or_return!();
@@ -766,7 +777,7 @@ pub fn run_tcp_with(
     let idle = tcfg.client_idle_timeout;
     let handles: Vec<_> = (0..cfg.n_clients)
         .map(|id| {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let ncfg = ncfg.clone();
             let plan = Arc::clone(&plan);
             std::thread::spawn(move || tcp_client_loop(addr, id, &cfg, &plan, idle, &ncfg))

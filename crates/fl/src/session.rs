@@ -1,6 +1,7 @@
 //! FedAvg orchestration with optional FedSZ compression of client updates —
 //! the simulation loop behind Table I's accuracy columns and Figures 4–7.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
@@ -9,8 +10,10 @@ use fedsz_tensor::{SplitMix64, StateDict};
 use rayon::prelude::*;
 
 use crate::aggregate::fedavg;
+use crate::checkpoint::{self, Checkpoint};
 use crate::error::FlError;
 use crate::partition;
+use crate::validate::validate_update;
 
 /// FedSZ partition threshold for the scaled model analogues: their conv
 /// weights are far smaller than torchvision's, so the Algorithm-1 threshold
@@ -19,7 +22,7 @@ use crate::partition;
 pub const SMALL_MODEL_THRESHOLD: usize = 128;
 
 /// Full experiment configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FlConfig {
     /// Trainable architecture analogue.
     pub arch: ModelArch,
@@ -47,6 +50,14 @@ pub struct FlConfig {
     pub dirichlet_alpha: Option<f64>,
     /// Master seed (controls data, init, and shuffling).
     pub seed: u64,
+    /// Directory for durable round checkpoints; `None` disables them.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Persist a checkpoint every this many completed rounds (values below
+    /// 1 are treated as 1; the final round is always checkpointed).
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir` whose
+    /// config fingerprint matches, instead of starting at round 0.
+    pub resume: bool,
 }
 
 impl Default for FlConfig {
@@ -65,6 +76,9 @@ impl Default for FlConfig {
             compression: None,
             dirichlet_alpha: None,
             seed: 42,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         }
     }
 }
@@ -81,6 +95,66 @@ impl FlConfig {
             ..Self::default()
         }
     }
+
+    /// Should a checkpoint be written after completing `round`? The cadence
+    /// is `checkpoint_every` (min 1), and the final round always persists
+    /// so a finished run leaves its final model on disk.
+    pub(crate) fn checkpoint_due(&self, round: usize) -> bool {
+        self.checkpoint_dir.is_some()
+            && ((round + 1).is_multiple_of(self.checkpoint_every.max(1))
+                || round + 1 == self.rounds)
+    }
+}
+
+/// Resume state recovered before round 0 (or not).
+pub(crate) struct ResumePoint {
+    /// Global model to continue from.
+    pub(crate) global: StateDict,
+    /// Metrics of the already-completed rounds.
+    pub(crate) rounds: Vec<RoundMetrics>,
+    /// First round still to run.
+    pub(crate) start_round: usize,
+    /// The checkpointed round resumed from, if any.
+    pub(crate) resumed_from_round: Option<usize>,
+}
+
+/// Recover the newest matching checkpoint when `cfg.resume` asks for it;
+/// otherwise (or when no usable checkpoint exists) start fresh from
+/// `initial` at round 0.
+pub(crate) fn resume_point(cfg: &FlConfig, initial: StateDict) -> Result<ResumePoint, FlError> {
+    if cfg.resume {
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if let Some(ckpt) = checkpoint::load_latest(dir, checkpoint::config_fingerprint(cfg))? {
+                return Ok(ResumePoint {
+                    start_round: ckpt.round + 1,
+                    resumed_from_round: Some(ckpt.round),
+                    global: ckpt.global,
+                    rounds: ckpt.rounds,
+                });
+            }
+        }
+    }
+    Ok(ResumePoint {
+        global: initial,
+        rounds: Vec::new(),
+        start_round: 0,
+        resumed_from_round: None,
+    })
+}
+
+/// Persist a checkpoint for the just-completed round when the cadence says
+/// so. `rounds` must already contain that round's metrics row.
+pub(crate) fn maybe_checkpoint(
+    cfg: &FlConfig,
+    round: usize,
+    global: &StateDict,
+    rounds: &[RoundMetrics],
+) -> Result<(), FlError> {
+    if cfg.checkpoint_due(round) {
+        let dir = cfg.checkpoint_dir.as_ref().expect("checked by due()");
+        checkpoint::save(dir, &Checkpoint::new(cfg, global.clone(), rounds))?;
+    }
+    Ok(())
 }
 
 /// Measurements from one communication round.
@@ -104,7 +178,8 @@ pub struct RoundMetrics {
     pub bytes_down_wire: usize,
     /// Total uncompressed update bytes, all clients.
     pub bytes_uncompressed: usize,
-    /// Client participation outcome (delivered / rejected / late / dropped).
+    /// Client participation outcome
+    /// (delivered / rejected / quarantined / late / dropped).
     pub faults: FaultCounters,
 }
 
@@ -125,6 +200,11 @@ pub struct FlRunResult {
     pub rounds: Vec<RoundMetrics>,
     /// Number of clients (for per-client normalization).
     pub n_clients: usize,
+    /// The aggregated global model after the final round — the artifact the
+    /// kill-and-resume tests compare bit for bit.
+    pub final_model: StateDict,
+    /// The checkpointed round this run resumed from, if any.
+    pub resumed_from_round: Option<usize>,
 }
 
 impl FlRunResult {
@@ -187,6 +267,7 @@ impl FlRunResult {
             .fold(FaultCounters::default(), |acc, r| FaultCounters {
                 delivered: acc.delivered + r.faults.delivered,
                 rejected: acc.rejected + r.faults.rejected,
+                quarantined: acc.quarantined + r.faults.quarantined,
                 late: acc.late + r.faults.late,
                 dropped: acc.dropped + r.faults.dropped,
             })
@@ -227,10 +308,12 @@ pub fn run_scheduled(
         .map(|i| cfg.arch.build(c, h, classes, cfg.seed ^ (i as u64 + 1)))
         .collect();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
-    let mut global = server.state_dict();
+    let resume = resume_point(cfg, server.state_dict())?;
+    let mut global = resume.global;
+    let mut rounds = resume.rounds;
+    rounds.reserve(cfg.rounds.saturating_sub(rounds.len()));
 
-    let mut rounds = Vec::with_capacity(cfg.rounds);
-    for round in 0..cfg.rounds {
+    for round in resume.start_round..cfg.rounds {
         // Local training, parallel across clients.
         struct ClientOut {
             sd: StateDict,
@@ -280,8 +363,12 @@ pub fn run_scheduled(
             })
             .collect();
 
-        // Server: decompress (when compressed), aggregate, evaluate.
+        // Server: decompress (when compressed), validate, aggregate,
+        // evaluate. Even without a hostile transport an update can fail
+        // validation (e.g. training divergence to NaN); such clients are
+        // quarantined from the aggregate instead of poisoning it.
         let mut decompress_s_total = 0.0f64;
+        let mut quarantined = 0usize;
         let mut weighted: Vec<(StateDict, usize)> = Vec::with_capacity(outs.len());
         for out in &outs {
             let sd = match &out.update {
@@ -293,7 +380,18 @@ pub fn run_scheduled(
                 }
                 None => out.sd.clone(),
             };
-            weighted.push((sd, out.n));
+            match validate_update(&sd, &global, out.n) {
+                Ok(()) => weighted.push((sd, out.n)),
+                Err(_) => quarantined += 1,
+            }
+        }
+        if weighted.is_empty() {
+            // Every update was quarantined: FedAvg has nothing to average.
+            return Err(FlError::QuorumNotMet {
+                round,
+                delivered: 0,
+                required: 1,
+            });
         }
         global = fedavg(&weighted);
         server.load_state_dict(&global);
@@ -308,12 +406,19 @@ pub fn run_scheduled(
             bytes_on_wire: outs.iter().map(|o| o.wire_bytes).sum(),
             bytes_down_wire: 0,
             bytes_uncompressed: outs.iter().map(|o| o.raw_bytes).sum(),
-            faults: FaultCounters::full(cfg.n_clients),
+            faults: FaultCounters {
+                delivered: cfg.n_clients - quarantined,
+                quarantined,
+                ..FaultCounters::default()
+            },
         });
+        maybe_checkpoint(cfg, round, &global, &rounds)?;
     }
     Ok(FlRunResult {
         rounds,
         n_clients: cfg.n_clients,
+        final_model: global,
+        resumed_from_round: resume.resumed_from_round,
     })
 }
 

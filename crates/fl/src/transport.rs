@@ -44,13 +44,14 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
-use fedsz_tensor::{SplitMix64, StateDict};
+use fedsz_tensor::{SplitMix64, StateDict, Tensor};
 
 use crate::aggregate::fedavg;
 use crate::error::FlError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::partition;
-use crate::session::{FlConfig, FlRunResult, RoundMetrics};
+use crate::session::{maybe_checkpoint, resume_point, FlConfig, FlRunResult, RoundMetrics};
+use crate::validate::validate_update;
 
 /// Transport-level policy: per-round deadline, quorum, retries, client idle
 /// timeout, and fault injection. Shared by the channel and TCP transports.
@@ -238,6 +239,38 @@ pub(crate) fn local_round(
     }
 }
 
+/// Build the semantically poisoned payload behind the `NonFiniteUpdate`
+/// and `WrongShape` faults. The state dict is compressed with an
+/// everything-lossless partition so the poison survives the codec
+/// bit-exact: the payload frames, checksums, and decodes cleanly, and only
+/// the server's pre-aggregation validation can catch it. Shared by the
+/// channel and TCP client loops so both transports inject identically.
+pub(crate) fn poisoned_payload(net: &fedsz_dnn::Network, kind: FaultKind) -> CompressedUpdate {
+    let mut sd = net.state_dict();
+    match kind {
+        FaultKind::NonFiniteUpdate => {
+            if let Some(v) = sd
+                .entries_mut()
+                .first_mut()
+                .and_then(|e| e.tensor.data_mut().first_mut())
+            {
+                *v = f32::NAN;
+            }
+        }
+        FaultKind::WrongShape => {
+            if let Some(e) = sd.entries_mut().first_mut() {
+                e.tensor = Tensor::from_vec(vec![0.0]);
+            }
+        }
+        _ => {}
+    }
+    let lossless = FedSzConfig {
+        threshold: usize::MAX,
+        ..FedSzConfig::default()
+    };
+    fedsz::compress(&sd, &lossless)
+}
+
 /// Run the federated session with one OS thread per client and default
 /// transport policy (no deadline, quorum of one, no injected faults).
 ///
@@ -264,7 +297,7 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
         let (down_tx, down_rx) = bounded::<ServerMsg>(1);
         down_txs.push(down_tx);
         let up_tx = up_tx.clone();
-        let cfg = *cfg;
+        let cfg = cfg.clone();
         let plan = Arc::clone(&plan);
         handles.push(std::thread::spawn(move || {
             client_loop(i, cfg, shard, c, h, classes, &plan, idle, &down_rx, &up_tx);
@@ -440,6 +473,11 @@ fn client_loop(
                 std::thread::sleep(d);
                 out.payload
             }
+            Some(kind @ (FaultKind::NonFiniteUpdate | FaultKind::WrongShape)) => {
+                // Cleanly-decoding poison: only the server's semantic
+                // validation stands between this and the aggregate.
+                poisoned_payload(&net, kind)
+            }
             None => out.payload,
         };
         if up_tx
@@ -472,10 +510,12 @@ pub(crate) fn serve<T: ServerTransport>(
 ) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
-    let mut global = server.state_dict();
-    let mut rounds = Vec::with_capacity(cfg.rounds);
+    let resume = resume_point(cfg, server.state_dict())?;
+    let mut global = resume.global;
+    let mut rounds = resume.rounds;
+    rounds.reserve(cfg.rounds.saturating_sub(rounds.len()));
 
-    for round in 0..cfg.rounds {
+    for round in resume.start_round..cfg.rounds {
         let broadcast = fedsz::compress(&global, bcast_cfg);
         let mut metrics = RoundMetrics {
             round,
@@ -492,6 +532,13 @@ pub(crate) fn serve<T: ServerTransport>(
         let weighted = 'attempts: {
             for attempt in 0..=tcfg.max_round_retries {
                 let outcome = transport.broadcast(round, attempt, &broadcast);
+                // The server-kill hook fires after the broadcast goes out
+                // but before any update is collected — the deterministic
+                // double for a SIGKILL mid-round. Rounds before this one
+                // are already checkpointed; this one is lost in flight.
+                if attempt == 0 && tcfg.faults.server_kill_round() == Some(round) {
+                    return Err(FlError::ServerKilled { round });
+                }
                 let expected = outcome.expected();
                 metrics.faults.dropped = cfg.n_clients - expected;
                 metrics.bytes_down_wire += outcome.bytes_down;
@@ -506,6 +553,7 @@ pub(crate) fn serve<T: ServerTransport>(
                     &outcome.reached,
                     tcfg.round_deadline,
                     transport,
+                    &global,
                     &mut metrics,
                 );
                 if collected.delivered >= tcfg.quorum() {
@@ -526,11 +574,14 @@ pub(crate) fn serve<T: ServerTransport>(
         server.load_state_dict(&global);
         metrics.accuracy = server.evaluate(test);
         rounds.push(metrics);
+        maybe_checkpoint(cfg, round, &global, &rounds)?;
     }
 
     Ok(FlRunResult {
         rounds,
         n_clients: cfg.n_clients,
+        final_model: global,
+        resumed_from_round: resume.resumed_from_round,
     })
 }
 
@@ -545,9 +596,12 @@ struct AttemptOutcome {
 
 /// Collect uplink messages for `(round, attempt)` until every expected
 /// client has answered (or provably cannot) or the deadline passes.
-/// Corrupt payloads and broken wire frames count as rejected; missing
-/// clients as late; stale messages from earlier rounds or attempts are
-/// discarded (they were already accounted when they ran late).
+/// Corrupt payloads and broken wire frames count as rejected; updates that
+/// decode cleanly but fail semantic validation against the broadcast
+/// `global` count as quarantined; missing clients as late; stale messages
+/// from earlier rounds or attempts are discarded (they were already
+/// accounted when they ran late).
+#[allow(clippy::too_many_arguments)]
 fn collect_attempt<T: ServerTransport>(
     cfg: &FlConfig,
     round: usize,
@@ -555,6 +609,7 @@ fn collect_attempt<T: ServerTransport>(
     reached: &[bool],
     deadline: Option<Duration>,
     transport: &mut T,
+    global: &StateDict,
     metrics: &mut RoundMetrics,
 ) -> AttemptOutcome {
     let cutoff = deadline.map(|d| Instant::now() + d);
@@ -564,6 +619,7 @@ fn collect_attempt<T: ServerTransport>(
     let expected = pending;
     let mut delivered = 0usize;
     let mut rejected = 0usize;
+    let mut quarantined = 0usize;
     let resolve = |outstanding: &mut [bool], pending: &mut usize, id: usize| {
         if id < outstanding.len() && outstanding[id] {
             outstanding[id] = false;
@@ -583,17 +639,24 @@ fn collect_attempt<T: ServerTransport>(
                 }
                 let t = Instant::now();
                 match fedsz::decompress(&msg.payload) {
-                    Ok(sd) => {
-                        metrics.decompress_s_total += t.elapsed().as_secs_f64();
-                        metrics.train_s_total += msg.train_s;
-                        metrics.compress_s_total += msg.compress_s;
-                        metrics.bytes_on_wire += msg.payload.nbytes();
-                        metrics.bytes_uncompressed += msg.raw_bytes;
-                        if slots[msg.client_id].is_none() {
-                            delivered += 1;
+                    // A payload that decodes is not yet trustworthy: it
+                    // must also match the broadcast model structurally,
+                    // carry only finite values, and declare a sane sample
+                    // count — or one hostile client poisons the aggregate.
+                    Ok(sd) => match validate_update(&sd, global, msg.samples) {
+                        Ok(()) => {
+                            metrics.decompress_s_total += t.elapsed().as_secs_f64();
+                            metrics.train_s_total += msg.train_s;
+                            metrics.compress_s_total += msg.compress_s;
+                            metrics.bytes_on_wire += msg.payload.nbytes();
+                            metrics.bytes_uncompressed += msg.raw_bytes;
+                            if slots[msg.client_id].is_none() {
+                                delivered += 1;
+                            }
+                            slots[msg.client_id] = Some((sd, msg.samples));
                         }
-                        slots[msg.client_id] = Some((sd, msg.samples));
-                    }
+                        Err(_) => quarantined += 1,
+                    },
                     Err(_) => rejected += 1,
                 }
                 resolve(&mut outstanding, &mut pending, msg.client_id);
@@ -614,9 +677,10 @@ fn collect_attempt<T: ServerTransport>(
     }
 
     metrics.faults.rejected += rejected;
+    metrics.faults.quarantined += quarantined;
     // A flood of duplicate corrupt frames (a replaying socket) can push
     // `rejected` past `expected`; saturate instead of underflowing.
-    metrics.faults.late += expected.saturating_sub(delivered + rejected);
+    metrics.faults.late += expected.saturating_sub(delivered + rejected + quarantined);
     metrics.faults.delivered = delivered;
     AttemptOutcome {
         updates: slots.into_iter().flatten().collect(),

@@ -12,7 +12,7 @@ pub mod stats;
 pub mod tensor;
 
 pub use rng::SplitMix64;
-pub use state_dict::{Entry, StateDict};
+pub use state_dict::{DecodeError, Entry, StateDict};
 pub use stats::{Histogram, Summary};
 pub use tensor::{Tensor, TensorKind};
 

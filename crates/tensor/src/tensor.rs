@@ -34,6 +34,30 @@ impl TensorKind {
             TensorKind::Counter => "num_batches_tracked",
         }
     }
+
+    /// Stable one-byte tag used by every on-disk and on-wire format that
+    /// serializes state dictionaries (FedSZ updates, checkpoints).
+    pub fn tag(self) -> u8 {
+        match self {
+            TensorKind::Weight => 0,
+            TensorKind::Bias => 1,
+            TensorKind::RunningMean => 2,
+            TensorKind::RunningVar => 3,
+            TensorKind::Counter => 4,
+        }
+    }
+
+    /// Inverse of [`TensorKind::tag`]; `None` for an unknown tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => TensorKind::Weight,
+            1 => TensorKind::Bias,
+            2 => TensorKind::RunningMean,
+            3 => TensorKind::RunningVar,
+            4 => TensorKind::Counter,
+            _ => return None,
+        })
+    }
 }
 
 /// A dense tensor of `f32` values with row-major layout.

@@ -250,6 +250,60 @@ fn quorum_starved_round_recovers_on_retry() {
 }
 
 #[test]
+fn non_finite_update_is_quarantined_with_exact_accounting() {
+    // A NaN-poisoned update travels the lossless path bit-exactly, decodes
+    // cleanly, and must be caught by semantic validation — quarantined, not
+    // rejected, and never aggregated.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().non_finite(1, 1),
+        ..TransportConfig::default()
+    };
+    let result = run_threaded_with(&fl_cfg(4, 3), &tcfg).expect("fl run");
+    assert!(result.rounds[0].faults.is_clean());
+    let r1 = &result.rounds[1].faults;
+    assert_eq!(
+        (
+            r1.delivered,
+            r1.rejected,
+            r1.quarantined,
+            r1.late,
+            r1.dropped
+        ),
+        (3, 0, 1, 0, 0)
+    );
+    assert!(result.rounds[2].faults.is_clean());
+    assert_eq!(result.fault_summary().quarantined, 1);
+    // Every aggregated weight stayed finite.
+    for e in result.final_model.entries() {
+        assert!(e.tensor.data().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn wrong_shape_update_is_quarantined_and_excluded_like_a_rejection() {
+    // Excluding a client because its update is misshapen must land the
+    // aggregate on the same bits as excluding it because its bytes were
+    // corrupt: both aggregate over the identical surviving quorum.
+    let cfg = fl_cfg(4, 3);
+    let quarantine = TransportConfig {
+        faults: FaultPlan::new().wrong_shape(1, 1),
+        ..TransportConfig::default()
+    };
+    let reject = TransportConfig {
+        faults: FaultPlan::new().corrupt(1, 1),
+        ..TransportConfig::default()
+    };
+    let q = run_threaded_with(&cfg, &quarantine).expect("quarantine run");
+    let r = run_threaded_with(&cfg, &reject).expect("reject run");
+    let r1 = &q.rounds[1].faults;
+    assert_eq!((r1.delivered, r1.quarantined, r1.rejected), (3, 1, 0));
+    let acc_q: Vec<f64> = q.rounds.iter().map(|x| x.accuracy).collect();
+    let acc_r: Vec<f64> = r.rounds.iter().map(|x| x.accuracy).collect();
+    assert_eq!(acc_q, acc_r, "quarantine and rejection must exclude alike");
+    assert_eq!(q.final_model, r.final_model);
+}
+
+#[test]
 fn combined_faults_complete_all_rounds_with_exact_accounting() {
     // The acceptance scenario: one corrupt update, one dead client, and one
     // straggler in a single run. Every round completes without panic or

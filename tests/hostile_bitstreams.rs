@@ -1,10 +1,12 @@
-//! Hostile-input sweeps over the two untrusted decoders: `fedsz::decompress`
-//! (the update bitstream) and `fedsz_fl::wire::decode` (the TCP frame
-//! codec). Hundreds of seeded random streams and systematically flipped
-//! bits — the decoders must return `Err` (or, for flips landing in lossy
-//! payload values, at worst decode different numbers) and must never panic.
+//! Hostile-input sweeps over the three untrusted decoders: `fedsz::decompress`
+//! (the update bitstream), `fedsz_fl::wire::decode` (the TCP frame codec),
+//! and `fedsz_fl::checkpoint` (on-disk server state). Hundreds of seeded
+//! random streams and systematically flipped bits — the decoders must
+//! return `Err` (or, for flips landing in lossy payload values, at worst
+//! decode different numbers) and must never panic.
 
 use fedsz::{compress, decompress, CompressedUpdate, FedSzConfig};
+use fedsz_fl::checkpoint::{self, Checkpoint};
 use fedsz_fl::wire;
 use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
 use std::time::Duration;
@@ -132,6 +134,157 @@ fn wire_frames_carrying_flipped_updates_are_caught_by_the_crc() {
         bad[pos] ^= 1 << (rng.next_u64() % 8);
         assert!(wire::decode(&bad).is_err(), "flipped frame decoded");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint files: the server trusts nothing it reads back from disk. Every
+// truncation, bit flip, and random byte stream must come back as an Err from
+// the decoder — and the file-level loaders must survive the same treatment
+// plus oversized and garbage-filled directories.
+// ---------------------------------------------------------------------------
+
+fn sample_checkpoint() -> Checkpoint {
+    let mut rng = SplitMix64::new(0xC8EC);
+    let mut global = StateDict::new();
+    let w: Vec<f32> = (0..256)
+        .map(|_| rng.normal_with(0.0, 0.05) as f32)
+        .collect();
+    global.insert("conv.weight", TensorKind::Weight, Tensor::from_vec(w));
+    let rounds: Vec<fedsz_fl::RoundMetrics> = (0..3)
+        .map(|r| fedsz_fl::RoundMetrics {
+            round: r,
+            accuracy: 0.4 + r as f64 * 0.05,
+            train_s_total: 1.5,
+            compress_s_total: 0.25,
+            decompress_s_total: 0.125,
+            bytes_on_wire: 10_000 + r,
+            bytes_down_wire: 20_000,
+            bytes_uncompressed: 40_000,
+            faults: fedsz::FaultCounters {
+                delivered: 4,
+                ..fedsz::FaultCounters::default()
+            },
+        })
+        .collect();
+    Checkpoint {
+        fingerprint: 0xFEED_5EED,
+        round: 2,
+        global,
+        rounds,
+    }
+}
+
+fn hostile_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fedsz-hostile-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_checkpoint_truncation_is_rejected() {
+    let bytes = sample_checkpoint().encode();
+    for cut in 0..bytes.len() {
+        assert!(
+            Checkpoint::decode(&bytes[..cut]).is_err(),
+            "checkpoint prefix of {cut} bytes accepted"
+        );
+    }
+}
+
+#[test]
+fn seeded_checkpoint_bit_flips_are_always_rejected() {
+    // Unlike the lossy update stream there is no "decodes to different
+    // numbers" escape hatch here: the magic check covers the first four
+    // bytes and the CRC-32 covers everything else, so every single-bit
+    // flip anywhere in the file must be an outright error.
+    let bytes = sample_checkpoint().encode();
+    let mut rng = SplitMix64::new(0xF11F);
+    for case in 0..400 {
+        let mut bad = bytes.clone();
+        let pos = rng.below(bad.len());
+        let bit = (rng.next_u64() % 8) as u8;
+        bad[pos] ^= 1 << bit;
+        assert!(
+            Checkpoint::decode(&bad).is_err(),
+            "flip #{case} at byte {pos} bit {bit} accepted"
+        );
+    }
+}
+
+#[test]
+fn random_streams_never_decode_as_checkpoints() {
+    let mut rng = SplitMix64::new(0xBAD_C8EC);
+    for case in 0..400 {
+        let len = rng.below(2048);
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(
+            Checkpoint::decode(&junk).is_err(),
+            "random stream #{case} of {len} bytes decoded as a checkpoint"
+        );
+    }
+}
+
+#[test]
+fn mutated_checkpoint_files_on_disk_are_errors_not_panics() {
+    // The same sweeps, through the filesystem loader: write a valid
+    // checkpoint, then overwrite it with seeded truncate-and-flip variants.
+    let dir = hostile_scratch("mutate");
+    let ckpt = sample_checkpoint();
+    let path = checkpoint::save(&dir, &ckpt).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    assert!(checkpoint::load_file(&path).is_ok());
+
+    let mut rng = SplitMix64::new(0x70C5);
+    for case in 0..200 {
+        let cut = 1 + rng.below(bytes.len() - 1);
+        let mut bad = bytes[..cut].to_vec();
+        let pos = rng.below(bad.len());
+        bad[pos] ^= 1 << (rng.next_u64() % 8);
+        std::fs::write(&path, &bad).expect("write mutation");
+        assert!(
+            checkpoint::load_file(&path).is_err(),
+            "mutation #{case} (cut {cut}) loaded"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_checkpoint_is_refused_before_it_is_read() {
+    let dir = hostile_scratch("oversize");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(checkpoint::file_name(0));
+    // A sparse file well past the cap: the loader must bail on the
+    // metadata, not allocate for the claimed length.
+    let f = std::fs::File::create(&path).expect("create");
+    f.set_len(checkpoint::MAX_CHECKPOINT_BYTES + 1)
+        .expect("set_len");
+    drop(f);
+    assert!(checkpoint::load_file(&path).is_err());
+    assert_eq!(checkpoint::load_latest(&dir, 0).expect("scan"), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_directory_full_of_garbage_yields_none_not_a_panic() {
+    let dir = hostile_scratch("garbage");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mut rng = SplitMix64::new(0xD1217);
+    for i in 0..16 {
+        let len = rng.below(512);
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        std::fs::write(dir.join(checkpoint::file_name(i)), &junk).expect("write junk");
+    }
+    assert_eq!(checkpoint::load_latest(&dir, 0).expect("scan"), None);
+
+    // Drop one valid checkpoint among the garbage: it is found.
+    let ckpt = sample_checkpoint();
+    checkpoint::save(&dir, &ckpt).expect("save");
+    let found = checkpoint::load_latest(&dir, ckpt.fingerprint)
+        .expect("scan")
+        .expect("valid checkpoint among garbage");
+    assert_eq!(found, ckpt);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

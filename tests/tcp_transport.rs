@@ -179,6 +179,31 @@ fn corrupt_payload_over_tcp_matches_channel_semantics_exactly() {
 }
 
 #[test]
+fn poisoned_update_over_tcp_is_quarantined_with_channel_parity() {
+    // A NaN-poisoned update crosses the real socket with a valid CRC and a
+    // clean FedSZ decode; only semantic validation at the aggregation gate
+    // catches it — with the same accounting and the same bits as the
+    // channel transport.
+    let cfg = fl_cfg(4, 3);
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().non_finite(2, 1),
+        ..TransportConfig::default()
+    };
+    let over_channels = run_threaded_with(&cfg, &tcfg).expect("threaded run");
+    let over_tcp = run_tcp_with(&cfg, &tcfg, &fast_net()).expect("tcp run");
+    let r1 = &over_tcp.rounds[1].faults;
+    assert_eq!(
+        (r1.delivered, r1.rejected, r1.quarantined, r1.late),
+        (3, 0, 1, 0)
+    );
+    assert_eq!(per_round(&over_channels), per_round(&over_tcp));
+    let a: Vec<f64> = over_channels.rounds.iter().map(|r| r.accuracy).collect();
+    let b: Vec<f64> = over_tcp.rounds.iter().map(|r| r.accuracy).collect();
+    assert_eq!(a, b);
+    assert_eq!(over_channels.final_model, over_tcp.final_model);
+}
+
+#[test]
 fn quorum_not_met_over_tcp_is_a_typed_error() {
     let tcfg = TransportConfig {
         min_quorum: 2,
