@@ -1,0 +1,192 @@
+//! Round-throughput benchmark for the server-side ingest pipeline: how fast
+//! can the server decompress + validate a full round of uplink payloads,
+//! serial vs. the parallel `IngestPool`, across a clients × model-size grid?
+//!
+//! Each grid cell synthesizes a global model, compresses one distinct update
+//! per client (outside the timed section), then times submit-and-drain
+//! through an [`IngestPool`] for worker counts {0 = serial, 1, 2, 4, 8,
+//! available cores}. The median of `--reps` repetitions is reported; the
+//! pool is created once per worker count and reused across reps, matching
+//! how the server reuses it across rounds.
+//!
+//! Results go to stdout as a text table and to `--out` (default
+//! `BENCH_ingest.json`) as machine-readable JSON, including the host's
+//! `available_parallelism` — speedups above 1 are only physically possible
+//! on a multi-core host, so consumers must read that field before judging
+//! the numbers.
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin ingest [--smoke] [--reps N]
+//!       [--out BENCH_ingest.json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fedsz::{CompressedUpdate, FedSzConfig};
+use fedsz_bench::{print_header, Args};
+use fedsz_fl::ingest::{self, IngestPool, Job, Verdict};
+use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
+
+/// One grid cell: a round's worth of payloads against one global model.
+struct Cell {
+    global: Arc<StateDict>,
+    /// One pre-compressed update per client (cloned into each rep).
+    payloads: Vec<CompressedUpdate>,
+}
+
+/// Deterministic synthetic model: one big lossy-routed weight tensor plus a
+/// small lossless-routed bias. Weights are normal noise at trained-network
+/// scale — smooth analytic data would compress to almost nothing and make
+/// decode (the very cost under test) unrealistically cheap.
+fn synth_model(params: usize, seed: u64) -> StateDict {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let bias_len = 16.min(params / 4).max(1);
+    let weight_len = params.saturating_sub(bias_len).max(1);
+    let mut normals = |n: usize, std: f64| -> Vec<f32> {
+        (0..n).map(|_| rng.normal_with(0.0, std) as f32).collect()
+    };
+    let mut sd = StateDict::new();
+    let w = normals(weight_len, 0.05);
+    sd.insert("features.weight", TensorKind::Weight, Tensor::from_vec(w));
+    let b = normals(bias_len, 0.01);
+    sd.insert("classifier.bias", TensorKind::Bias, Tensor::from_vec(b));
+    sd
+}
+
+fn build_cell(clients: usize, params: usize) -> Cell {
+    let global = Arc::new(synth_model(params, 0));
+    let cfg = FedSzConfig::with_rel_bound(1e-2);
+    // Distinct per-client payloads so workers decode different bytes, as on
+    // a real server. Each client's "update" is a reseeded model of the same
+    // shape, which validates cleanly against the global.
+    let payloads = (0..clients)
+        .map(|c| fedsz::compress(&synth_model(params, c as u64 + 1), &cfg))
+        .collect();
+    Cell { global, payloads }
+}
+
+/// Submit every payload and drain every outcome once; returns wall seconds.
+fn run_round(pool: &mut IngestPool, cell: &Cell) -> f64 {
+    let t0 = Instant::now();
+    for (i, payload) in cell.payloads.iter().enumerate() {
+        pool.submit(Job {
+            seq: i as u64,
+            client_id: i,
+            payload: payload.clone(),
+            samples: 10,
+            train_s: 0.0,
+            compress_s: 0.0,
+            raw_bytes: 0,
+            wire_bytes: payload.nbytes(),
+            global: Arc::clone(&cell.global),
+        });
+    }
+    for _ in 0..cell.payloads.len() {
+        let out = pool.recv();
+        assert!(
+            matches!(out.verdict, Verdict::Accept(_)),
+            "benchmark payload must ingest cleanly (seq {})",
+            out.seq
+        );
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+struct Measurement {
+    workers: usize,
+    seconds: f64,
+}
+
+fn measure_cell(cell: &Cell, worker_counts: &[usize], reps: usize) -> Vec<Measurement> {
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let mut pool = IngestPool::new(workers);
+            // One untimed warm-up round fills caches and parks the workers
+            // on their channels before measurement starts.
+            run_round(&mut pool, cell);
+            let times: Vec<f64> = (0..reps).map(|_| run_round(&mut pool, cell)).collect();
+            Measurement {
+                workers,
+                seconds: median(times),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("--smoke");
+    let reps: usize = args.value("--reps", if smoke { 2 } else { 5 });
+    let out: String = args.value("--out", "BENCH_ingest.json".to_string());
+    let cores = ingest::default_workers();
+
+    let (client_counts, param_counts): (Vec<usize>, Vec<usize>) = if smoke {
+        (vec![4], vec![16_384])
+    } else {
+        (vec![4, 16, 64], vec![262_144, 2_097_152])
+    };
+    let mut worker_counts: Vec<usize> = vec![0, 1, 2, 4, 8, cores];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    println!(
+        "# ingest throughput: serial vs parallel IngestPool ({cores} cores available, median of {reps})"
+    );
+    print_header(
+        "round ingest wall time per worker count",
+        &[
+            "clients",
+            "params",
+            "payload_kB",
+            "workers",
+            "seconds",
+            "speedup_vs_serial",
+        ],
+    );
+
+    let mut cells_json = Vec::new();
+    for &params in &param_counts {
+        for &clients in &client_counts {
+            let cell = build_cell(clients, params);
+            let payload_bytes = cell.payloads[0].nbytes();
+            let results = measure_cell(&cell, &worker_counts, reps);
+            let serial_s = results
+                .iter()
+                .find(|m| m.workers == 0)
+                .expect("serial baseline measured")
+                .seconds;
+
+            let mut rows_json = Vec::new();
+            for m in &results {
+                let speedup = serial_s / m.seconds;
+                println!(
+                    "{clients}\t{params}\t{:.1}\t{}\t{:.4}\t{:.2}",
+                    payload_bytes as f64 / 1e3,
+                    m.workers,
+                    m.seconds,
+                    speedup
+                );
+                rows_json.push(format!(
+                    "{{\"workers\": {}, \"seconds\": {:.6}, \"speedup_vs_serial\": {:.4}}}",
+                    m.workers, m.seconds, speedup
+                ));
+            }
+            cells_json.push(format!(
+                "    {{\"clients\": {clients}, \"params\": {params}, \"payload_bytes\": {payload_bytes}, \"serial_seconds\": {serial_s:.6}, \"runs\": [{}]}}",
+                rows_json.join(", ")
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ingest\",\n  \"available_parallelism\": {cores},\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cells_json.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("\nwrote {out}");
+}

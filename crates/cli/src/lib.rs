@@ -284,6 +284,10 @@ pub struct FlOpts {
     pub checkpoint_every: usize,
     /// Resume from the newest valid checkpoint in `checkpoint_dir`.
     pub resume: bool,
+    /// Server-side ingest workers decoding + validating updates
+    /// concurrently (0 = serial; `None` = one per available core). Any
+    /// value yields a bit-identical run — only wall time changes.
+    pub ingest_workers: Option<usize>,
 }
 
 impl Default for FlOpts {
@@ -307,6 +311,7 @@ impl Default for FlOpts {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            ingest_workers: None,
         }
     }
 }
@@ -368,6 +373,16 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             "checkpoints are server-side; --checkpoint-dir conflicts with --connect".into(),
         ));
     }
+    // 0 means serial; an absurd thread count is almost certainly a typo.
+    if opts.ingest_workers.is_some_and(|w| w > 1024) {
+        return Err(CliError::Usage(format!(
+            "--ingest-workers {} is unreasonable (max 1024)",
+            opts.ingest_workers.unwrap_or_default()
+        )));
+    }
+    let ingest_workers = opts
+        .ingest_workers
+        .unwrap_or_else(fedsz_fl::ingest::default_workers);
     let cfg = FlConfig {
         rounds: opts.rounds,
         n_clients: opts.clients,
@@ -380,6 +395,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         checkpoint_dir: opts.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
         checkpoint_every: opts.checkpoint_every,
         resume: opts.resume,
+        ingest_workers,
         ..FlConfig::default()
     };
     let idle = opts.idle_timeout_ms.map(Duration::from_millis);
@@ -422,7 +438,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} transport, {} clients x {} samples, {} rounds, {}",
+        "{} transport, {} clients x {} samples, {} rounds, {}, ingest: {}",
         opts.transport.name(),
         opts.clients,
         opts.samples,
@@ -430,6 +446,10 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         match opts.rel {
             Some(rel) => format!("fedsz @ rel {rel:e}"),
             None => "uncompressed".into(),
+        },
+        match ingest_workers {
+            0 => "serial".to_string(),
+            n => format!("{n} workers"),
         }
     );
     if let Some(round) = result.resumed_from_round {
@@ -571,10 +591,12 @@ mod tests {
             samples: 48,
             transport: FlTransport::Threaded,
             deadline_ms: Some(30_000),
+            ingest_workers: Some(2),
             ..FlOpts::default()
         };
         let report = cmd_fl(&opts).unwrap();
         assert!(report.contains("threaded transport"), "{report}");
+        assert!(report.contains("ingest: 2 workers"), "{report}");
         assert!(report.contains("delivered"), "{report}");
         assert!(report.contains("final accuracy"), "{report}");
         assert!(report.contains("down_kB"), "{report}");
@@ -655,6 +677,14 @@ mod tests {
         assert!(matches!(
             cmd_fl(&FlOpts {
                 backoff_base_ms: 0,
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        // Absurd worker counts are rejected before any threads spawn.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                ingest_workers: Some(4096),
                 ..FlOpts::default()
             }),
             Err(CliError::Usage(_))

@@ -13,6 +13,7 @@
 //!                       [--listen HOST:PORT | --connect HOST:PORT --client-id N]
 //!                       [--backoff-base-ms B] [--backoff-max-ms M]
 //!                       [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
+//!                       [--ingest-workers N]
 //! ```
 //!
 //! `--threaded` is a legacy alias for `--transport threaded`. With
@@ -131,6 +132,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
                 checkpoint_dir: opts.value("--checkpoint-dir").map(str::to_owned),
                 checkpoint_every: opts.parsed_or("--checkpoint-every", defaults.checkpoint_every)?,
                 resume: opts.flag("--resume"),
+                ingest_workers: opts.parsed_opt("--ingest-workers")?,
             };
             cmd_fl(&fl)
         }

@@ -2,11 +2,17 @@
 //! client state dictionaries.
 
 use fedsz_tensor::StateDict;
+use rayon::prelude::*;
 
 /// Weighted average of client updates; weights are client sample counts.
 ///
 /// Every entry is averaged, including batch-norm running statistics and
 /// counters — matching APPFL's server-side handling of full state dicts.
+///
+/// Entries reduce in parallel, but within each entry the updates are
+/// accumulated element-wise in client order — the same floating-point
+/// operations in the same order as the sequential `axpy` loop — so the
+/// aggregate is bit-identical however many Rayon threads run it.
 ///
 /// # Panics
 /// Panics on an empty update set, zero total weight, or mismatched
@@ -15,10 +21,24 @@ pub fn fedavg(updates: &[(StateDict, usize)]) -> StateDict {
     assert!(!updates.is_empty(), "fedavg needs at least one update");
     let total: usize = updates.iter().map(|(_, n)| n).sum();
     assert!(total > 0, "fedavg needs a positive total sample count");
-    let mut acc = updates[0].0.zeros_like();
-    for (sd, n) in updates {
-        acc.axpy(*n as f32 / total as f32, sd);
+    for (sd, _) in updates {
+        assert_eq!(
+            sd.len(),
+            updates[0].0.len(),
+            "state-dict structure mismatch"
+        );
     }
+    let mut acc = updates[0].0.zeros_like();
+    acc.entries_mut()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, e)| {
+            for (sd, n) in updates {
+                let src = &sd.entries()[i];
+                assert_eq!(e.name, src.name, "state-dict entry order mismatch");
+                e.tensor.axpy(*n as f32 / total as f32, &src.tensor);
+            }
+        });
     acc
 }
 

@@ -29,11 +29,18 @@
 //! bit-identical final model. Decoded updates are semantically validated
 //! ([`validate`]) against the broadcast model before FedAvg; mismatches are
 //! quarantined rather than aggregated.
+//!
+//! Server-side decode + validate runs on a bounded worker pool
+//! ([`ingest`], sized by [`FlConfig::ingest_workers`]) while the collector
+//! keeps draining the transport; outcomes settle in submission order, so
+//! any worker count — including 0, the serial path — produces bit-identical
+//! runs and differs only in wall time.
 
 pub mod aggregate;
 pub mod checkpoint;
 pub mod error;
 pub mod fault;
+pub mod ingest;
 pub mod net;
 pub mod partition;
 pub mod session;
@@ -45,6 +52,7 @@ pub use aggregate::fedavg;
 pub use checkpoint::{config_fingerprint, Checkpoint};
 pub use error::FlError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use ingest::{ingest_update, IngestPool};
 pub use net::{run_tcp, run_tcp_client, run_tcp_with, serve_tcp, NetConfig};
 pub use session::{run, run_scheduled, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD};
 pub use transport::{run_threaded, run_threaded_with, TransportConfig};

@@ -458,11 +458,15 @@ fn reader_loop(
     tx: Sender<Event>,
     stop: Arc<AtomicBool>,
 ) {
+    // One body buffer for the connection's lifetime: it grows to the
+    // largest frame seen and is reused, so steady-state uplink traffic
+    // performs zero per-frame body allocations.
+    let mut scratch = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match wire::read_frame(&mut stream, budget) {
+        match wire::read_frame_reusing(&mut stream, budget, &mut scratch) {
             Ok(Frame::Update {
                 round,
                 attempt,
@@ -605,8 +609,11 @@ fn tcp_client_loop(
             }
         }};
     }
+    // Reused body buffer: the downlink is dominated by same-sized broadcast
+    // frames, so after the first one this loop stops allocating per frame.
+    let mut scratch = Vec::new();
     loop {
-        let frame = match wire::read_frame(&mut stream, ncfg.frame_budget) {
+        let frame = match wire::read_frame_reusing(&mut stream, ncfg.frame_budget, &mut scratch) {
             Ok(f) => {
                 last_frame = Instant::now();
                 f

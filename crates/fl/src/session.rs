@@ -2,6 +2,7 @@
 //! the simulation loop behind Table I's accuracy columns and Figures 4–7.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
@@ -12,6 +13,7 @@ use rayon::prelude::*;
 use crate::aggregate::fedavg;
 use crate::checkpoint::{self, Checkpoint};
 use crate::error::FlError;
+use crate::ingest::{self, IngestPool, Verdict};
 use crate::partition;
 use crate::validate::validate_update;
 
@@ -58,6 +60,13 @@ pub struct FlConfig {
     /// Resume from the newest valid checkpoint in `checkpoint_dir` whose
     /// config fingerprint matches, instead of starting at round 0.
     pub resume: bool,
+    /// Server-side ingest workers decoding and validating client updates
+    /// concurrently (0 = serial on the collector thread; the default is one
+    /// per available core). Any value produces a bit-identical run — only
+    /// wall time changes — so this knob is deliberately excluded from the
+    /// checkpoint config fingerprint: a run may resume under a different
+    /// worker count.
+    pub ingest_workers: usize,
 }
 
 impl Default for FlConfig {
@@ -79,6 +88,7 @@ impl Default for FlConfig {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            ingest_workers: crate::ingest::default_workers(),
         }
     }
 }
@@ -309,9 +319,16 @@ pub fn run_scheduled(
         .collect();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
     let resume = resume_point(cfg, server.state_dict())?;
-    let mut global = resume.global;
+    // Shared with the ingest workers by `Arc`, so concurrent validation
+    // never copies the broadcast model.
+    let mut global = Arc::new(resume.global);
     let mut rounds = resume.rounds;
     rounds.reserve(cfg.rounds.saturating_sub(rounds.len()));
+
+    // Server-side ingest pool for the in-process path: the same worker pool
+    // the transports use, so `ingest_workers` means the same thing on every
+    // path (0 = decode serially on this thread).
+    let mut ingest_pool = IngestPool::new(cfg.ingest_workers);
 
     for round in resume.start_round..cfg.rounds {
         // Local training, parallel across clients.
@@ -324,7 +341,7 @@ pub fn run_scheduled(
             raw_bytes: usize,
             update: Option<CompressedUpdate>,
         }
-        let outs: Vec<ClientOut> = clients
+        let mut outs: Vec<ClientOut> = clients
             .par_iter_mut()
             .zip(shards.par_iter())
             .enumerate()
@@ -366,23 +383,57 @@ pub fn run_scheduled(
         // Server: decompress (when compressed), validate, aggregate,
         // evaluate. Even without a hostile transport an update can fail
         // validation (e.g. training divergence to NaN); such clients are
-        // quarantined from the aggregate instead of poisoning it.
+        // quarantined from the aggregate instead of poisoning it. With
+        // `ingest_workers > 0` the decode + validate work runs concurrently
+        // on the ingest pool; outcomes settle by client index, so
+        // aggregation stays bit-identical to the serial path for any worker
+        // count. Decompression is timed alone (validation excluded) and
+        // charged for failed and quarantined decodes too.
+        let mut outcomes: Vec<Option<(Verdict, f64)>> = (0..outs.len()).map(|_| None).collect();
+        let mut in_flight = 0usize;
+        for (i, out) in outs.iter_mut().enumerate() {
+            match out.update.take() {
+                Some(payload) => {
+                    ingest_pool.submit(ingest::Job {
+                        seq: i as u64,
+                        client_id: i,
+                        payload,
+                        samples: out.n,
+                        train_s: 0.0,
+                        compress_s: 0.0,
+                        raw_bytes: 0,
+                        wire_bytes: 0,
+                        global: Arc::clone(&global),
+                    });
+                    in_flight += 1;
+                }
+                // Uncompressed path: nothing to decode, validate in-line.
+                None => {
+                    let verdict = match validate_update(&out.sd, &global, out.n) {
+                        Ok(()) => Verdict::Accept(Box::new(out.sd.clone())),
+                        Err(_) => Verdict::Quarantine,
+                    };
+                    outcomes[i] = Some((verdict, 0.0));
+                }
+            }
+        }
+        while in_flight > 0 {
+            let done = ingest_pool.recv();
+            in_flight -= 1;
+            outcomes[done.seq as usize] = Some((done.verdict, done.decompress_s));
+        }
         let mut decompress_s_total = 0.0f64;
         let mut quarantined = 0usize;
         let mut weighted: Vec<(StateDict, usize)> = Vec::with_capacity(outs.len());
-        for out in &outs {
-            let sd = match &out.update {
-                Some(update) => {
-                    let t = Instant::now();
-                    let sd = fedsz::decompress(update)?;
-                    decompress_s_total += t.elapsed().as_secs_f64();
-                    sd
-                }
-                None => out.sd.clone(),
-            };
-            match validate_update(&sd, &global, out.n) {
-                Ok(()) => weighted.push((sd, out.n)),
-                Err(_) => quarantined += 1,
+        for (slot, out) in outcomes.into_iter().zip(&outs) {
+            let (verdict, decompress_s) = slot.expect("every client was ingested");
+            decompress_s_total += decompress_s;
+            match verdict {
+                Verdict::Accept(sd) => weighted.push((*sd, out.n)),
+                Verdict::Quarantine => quarantined += 1,
+                // The in-process path has no per-client transport, so a
+                // decode failure stays a typed error, not a rejection.
+                Verdict::Reject(e) => return Err(e.into()),
             }
         }
         if weighted.is_empty() {
@@ -393,7 +444,7 @@ pub fn run_scheduled(
                 required: 1,
             });
         }
-        global = fedavg(&weighted);
+        global = Arc::new(fedavg(&weighted));
         server.load_state_dict(&global);
         let accuracy = server.evaluate(&test);
 
@@ -417,7 +468,9 @@ pub fn run_scheduled(
     Ok(FlRunResult {
         rounds,
         n_clients: cfg.n_clients,
-        final_model: global,
+        // Each round drains its in-flight jobs, so no worker still holds a
+        // reference; the clone is only a defensive fallback.
+        final_model: Arc::try_unwrap(global).unwrap_or_else(|g| (*g).clone()),
         resumed_from_round: resume.resumed_from_round,
     })
 }

@@ -39,6 +39,7 @@
 //! including the wire-level kinds (`TruncateFrame`, `FlipBytes`,
 //! `Disconnect`) that only a real socket can produce faithfully.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,9 +50,9 @@ use fedsz_tensor::{SplitMix64, StateDict, Tensor};
 use crate::aggregate::fedavg;
 use crate::error::FlError;
 use crate::fault::{FaultKind, FaultPlan};
+use crate::ingest::{self, IngestPool, Verdict};
 use crate::partition;
 use crate::session::{maybe_checkpoint, resume_point, FlConfig, FlRunResult, RoundMetrics};
-use crate::validate::validate_update;
 
 /// Transport-level policy: per-round deadline, quorum, retries, client idle
 /// timeout, and fault injection. Shared by the channel and TCP transports.
@@ -511,9 +512,12 @@ pub(crate) fn serve<T: ServerTransport>(
     let (c, h, _, classes) = cfg.dataset.dims();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
     let resume = resume_point(cfg, server.state_dict())?;
-    let mut global = resume.global;
+    // The broadcast model is shared with the ingest workers by `Arc`, so
+    // validating N updates concurrently never copies it.
+    let mut global = Arc::new(resume.global);
     let mut rounds = resume.rounds;
     rounds.reserve(cfg.rounds.saturating_sub(rounds.len()));
+    let mut pool = IngestPool::new(cfg.ingest_workers);
 
     for round in resume.start_round..cfg.rounds {
         let broadcast = fedsz::compress(&global, bcast_cfg);
@@ -554,6 +558,7 @@ pub(crate) fn serve<T: ServerTransport>(
                     tcfg.round_deadline,
                     transport,
                     &global,
+                    &mut pool,
                     &mut metrics,
                 );
                 if collected.delivered >= tcfg.quorum() {
@@ -570,7 +575,7 @@ pub(crate) fn serve<T: ServerTransport>(
             unreachable!("attempt loop either breaks with a quorum or returns an error");
         };
 
-        global = fedavg(&weighted);
+        global = Arc::new(fedavg(&weighted));
         server.load_state_dict(&global);
         metrics.accuracy = server.evaluate(test);
         rounds.push(metrics);
@@ -580,7 +585,10 @@ pub(crate) fn serve<T: ServerTransport>(
     Ok(FlRunResult {
         rounds,
         n_clients: cfg.n_clients,
-        final_model: global,
+        // Every attempt drains its in-flight jobs before returning, so no
+        // worker still holds a reference and the unwrap is free; the clone
+        // is only a defensive fallback.
+        final_model: Arc::try_unwrap(global).unwrap_or_else(|g| (*g).clone()),
         resumed_from_round: resume.resumed_from_round,
     })
 }
@@ -594,6 +602,64 @@ struct AttemptOutcome {
     delivered: usize,
 }
 
+/// Settles ingest outcomes in contiguous submission order.
+///
+/// Parallel workers finish in arbitrary order, but nothing downstream may
+/// observe that: duplicate-update slot overwrites, the `delivered` count,
+/// and the `f64` metric sums must behave exactly as the serial collector
+/// did, or the same seeds stop producing bit-identical runs. Out-of-order
+/// outcomes are buffered and applied only once every earlier submission has
+/// settled.
+struct Settle {
+    slots: Vec<Option<(StateDict, usize)>>,
+    delivered: usize,
+    rejected: usize,
+    quarantined: usize,
+    next: u64,
+    buffered: BTreeMap<u64, ingest::Outcome>,
+}
+
+impl Settle {
+    fn new(n_clients: usize) -> Self {
+        Self {
+            slots: (0..n_clients).map(|_| None).collect(),
+            delivered: 0,
+            rejected: 0,
+            quarantined: 0,
+            next: 0,
+            buffered: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) {
+        self.buffered.insert(out.seq, out);
+        while let Some(out) = self.buffered.remove(&self.next) {
+            self.next += 1;
+            self.apply(out, metrics);
+        }
+    }
+
+    fn apply(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) {
+        // Decompression is timed for every decode attempt — rejected and
+        // quarantined payloads cost the server real wall time too.
+        metrics.decompress_s_total += out.decompress_s;
+        match out.verdict {
+            Verdict::Accept(sd) => {
+                metrics.train_s_total += out.train_s;
+                metrics.compress_s_total += out.compress_s;
+                metrics.bytes_on_wire += out.wire_bytes;
+                metrics.bytes_uncompressed += out.raw_bytes;
+                if self.slots[out.client_id].is_none() {
+                    self.delivered += 1;
+                }
+                self.slots[out.client_id] = Some((*sd, out.samples));
+            }
+            Verdict::Quarantine => self.quarantined += 1,
+            Verdict::Reject(_) => self.rejected += 1,
+        }
+    }
+}
+
 /// Collect uplink messages for `(round, attempt)` until every expected
 /// client has answered (or provably cannot) or the deadline passes.
 /// Corrupt payloads and broken wire frames count as rejected; updates that
@@ -601,6 +667,12 @@ struct AttemptOutcome {
 /// `global` count as quarantined; missing clients as late; stale messages
 /// from earlier rounds or attempts are discarded (they were already
 /// accounted when they ran late).
+///
+/// Decode + validate runs on the ingest `pool` while this thread keeps
+/// draining the transport; every payload received before the cutoff is
+/// still decoded (the serial contract — decode work always extended past
+/// the deadline), and outcomes settle in submission order so the result is
+/// bit-identical for any worker count.
 #[allow(clippy::too_many_arguments)]
 fn collect_attempt<T: ServerTransport>(
     cfg: &FlConfig,
@@ -609,17 +681,17 @@ fn collect_attempt<T: ServerTransport>(
     reached: &[bool],
     deadline: Option<Duration>,
     transport: &mut T,
-    global: &StateDict,
+    global: &Arc<StateDict>,
+    pool: &mut IngestPool,
     metrics: &mut RoundMetrics,
 ) -> AttemptOutcome {
     let cutoff = deadline.map(|d| Instant::now() + d);
-    let mut slots: Vec<Option<(StateDict, usize)>> = (0..cfg.n_clients).map(|_| None).collect();
+    let mut settle = Settle::new(cfg.n_clients);
     let mut outstanding = reached.to_vec();
     let mut pending = outstanding.iter().filter(|o| **o).count();
     let expected = pending;
-    let mut delivered = 0usize;
-    let mut rejected = 0usize;
-    let mut quarantined = 0usize;
+    let mut seq = 0u64;
+    let mut in_flight = 0usize;
     let resolve = |outstanding: &mut [bool], pending: &mut usize, id: usize| {
         if id < outstanding.len() && outstanding[id] {
             outstanding[id] = false;
@@ -637,34 +709,27 @@ fn collect_attempt<T: ServerTransport>(
                 if msg.round != round || msg.attempt != attempt || msg.client_id >= cfg.n_clients {
                     continue; // stale straggler output (or nonsense id): discard
                 }
-                let t = Instant::now();
-                match fedsz::decompress(&msg.payload) {
-                    // A payload that decodes is not yet trustworthy: it
-                    // must also match the broadcast model structurally,
-                    // carry only finite values, and declare a sane sample
-                    // count — or one hostile client poisons the aggregate.
-                    Ok(sd) => match validate_update(&sd, global, msg.samples) {
-                        Ok(()) => {
-                            metrics.decompress_s_total += t.elapsed().as_secs_f64();
-                            metrics.train_s_total += msg.train_s;
-                            metrics.compress_s_total += msg.compress_s;
-                            metrics.bytes_on_wire += msg.payload.nbytes();
-                            metrics.bytes_uncompressed += msg.raw_bytes;
-                            if slots[msg.client_id].is_none() {
-                                delivered += 1;
-                            }
-                            slots[msg.client_id] = Some((sd, msg.samples));
-                        }
-                        Err(_) => quarantined += 1,
-                    },
-                    Err(_) => rejected += 1,
-                }
+                let wire_bytes = msg.payload.nbytes();
+                pool.submit(ingest::Job {
+                    seq,
+                    client_id: msg.client_id,
+                    payload: msg.payload,
+                    samples: msg.samples,
+                    train_s: msg.train_s,
+                    compress_s: msg.compress_s,
+                    raw_bytes: msg.raw_bytes,
+                    wire_bytes,
+                    global: Arc::clone(global),
+                });
+                seq += 1;
+                in_flight += 1;
                 resolve(&mut outstanding, &mut pending, msg.client_id);
             }
             Uplink::Garbage { client_id } => {
                 // Wire-level rejection (bad CRC / truncated frame): counted
-                // like a corrupt payload, attributed to the connection.
-                rejected += 1;
+                // like a corrupt payload, attributed to the connection. It
+                // never reaches the pool — there is nothing to decode.
+                settle.rejected += 1;
                 resolve(&mut outstanding, &mut pending, client_id);
             }
             Uplink::Gone { client_id } => {
@@ -674,16 +739,30 @@ fn collect_attempt<T: ServerTransport>(
                 resolve(&mut outstanding, &mut pending, client_id);
             }
         }
+        // Drain whatever finished while we were waiting on the transport so
+        // the out-of-order buffer stays small.
+        while let Some(out) = pool.try_recv() {
+            in_flight -= 1;
+            settle.push(out, metrics);
+        }
     }
 
-    metrics.faults.rejected += rejected;
-    metrics.faults.quarantined += quarantined;
+    while in_flight > 0 {
+        let out = pool.recv();
+        in_flight -= 1;
+        settle.push(out, metrics);
+    }
+
+    metrics.faults.rejected += settle.rejected;
+    metrics.faults.quarantined += settle.quarantined;
     // A flood of duplicate corrupt frames (a replaying socket) can push
     // `rejected` past `expected`; saturate instead of underflowing.
-    metrics.faults.late += expected.saturating_sub(delivered + rejected + quarantined);
+    let delivered = settle.delivered;
+    metrics.faults.late +=
+        expected.saturating_sub(delivered + settle.rejected + settle.quarantined);
     metrics.faults.delivered = delivered;
     AttemptOutcome {
-        updates: slots.into_iter().flatten().collect(),
+        updates: settle.slots.into_iter().flatten().collect(),
         delivered,
     }
 }

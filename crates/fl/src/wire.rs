@@ -276,6 +276,22 @@ fn read_full<R: Read>(
 /// read timeout configured the read blocks, mirroring the channel
 /// transport's behaviour without a deadline).
 pub fn read_frame<R: Read>(r: &mut R, frame_budget: Duration) -> Result<Frame, WireError> {
+    read_frame_reusing(r, frame_budget, &mut Vec::new())
+}
+
+/// [`read_frame`] with a caller-owned scratch buffer for the frame body.
+///
+/// Long-lived readers (the server's per-connection reader threads, the
+/// client's receive loop) call this in a loop with one persistent buffer,
+/// so steady-state traffic performs zero body allocations: the buffer grows
+/// to the largest frame seen on the connection and is reused from then on.
+/// Only the buffer's length is touched between calls — a hostile length
+/// still cannot make it grow past [`MAX_BODY`].
+pub fn read_frame_reusing<R: Read>(
+    r: &mut R,
+    frame_budget: Duration,
+    scratch: &mut Vec<u8>,
+) -> Result<Frame, WireError> {
     let mut deadline = None;
     let mut header = [0u8; HEADER_LEN];
     read_full(r, &mut header, false, &mut deadline, frame_budget)?;
@@ -287,8 +303,10 @@ pub fn read_frame<R: Read>(r: &mut R, frame_budget: Duration) -> Result<Frame, W
     if len > MAX_BODY {
         return Err(WireError::TooLarge(len));
     }
-    let mut rest = vec![0u8; len + TRAILER_LEN];
-    read_full(r, &mut rest, true, &mut deadline, frame_budget)?;
+    scratch.clear();
+    scratch.resize(len + TRAILER_LEN, 0);
+    let rest = scratch.as_mut_slice();
+    read_full(r, rest, true, &mut deadline, frame_budget)?;
     let expected = u32::from_le_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
     let mut crc = Crc32::new();
     crc.update(&header[4..]);

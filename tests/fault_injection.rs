@@ -304,6 +304,65 @@ fn wrong_shape_update_is_quarantined_and_excluded_like_a_rejection() {
 }
 
 #[test]
+fn parallel_ingest_is_bit_identical_to_serial() {
+    // The parallel decompress/validate pool must be invisible downstream:
+    // any worker count produces the same bits as the serial server — same
+    // final model, same per-round accuracies, same metric sums.
+    let tcfg = TransportConfig::default();
+    let mut base = fl_cfg(4, 2);
+    base.ingest_workers = 0;
+    let serial = run_threaded_with(&base, &tcfg).expect("serial run");
+    for workers in [1usize, 4, 8] {
+        let mut cfg = fl_cfg(4, 2);
+        cfg.ingest_workers = workers;
+        let parallel = run_threaded_with(&cfg, &tcfg).expect("parallel run");
+        assert_eq!(
+            parallel.final_model, serial.final_model,
+            "workers={workers}"
+        );
+        for (s, p) in serial.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(p.accuracy, s.accuracy, "workers={workers}");
+            assert_eq!(p.faults, s.faults, "workers={workers}");
+            assert_eq!(p.bytes_on_wire, s.bytes_on_wire, "workers={workers}");
+            assert_eq!(
+                p.bytes_uncompressed, s.bytes_uncompressed,
+                "workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_ingest_is_bit_identical_to_serial_under_faults() {
+    // Same invariant with hostile traffic in flight: a corrupt payload and
+    // a NaN-poisoned update land in the same round, and the pool must
+    // reject / quarantine them with exactly the serial server's accounting
+    // while the surviving quorum aggregates to the same bits.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().corrupt(1, 1).non_finite(2, 1),
+        ..TransportConfig::default()
+    };
+    let mut base = fl_cfg(4, 3);
+    base.ingest_workers = 0;
+    let serial = run_threaded_with(&base, &tcfg).expect("serial run");
+    let r1 = &serial.rounds[1].faults;
+    assert_eq!((r1.delivered, r1.rejected, r1.quarantined), (2, 1, 1));
+    for workers in [1usize, 4, 8] {
+        let mut cfg = fl_cfg(4, 3);
+        cfg.ingest_workers = workers;
+        let parallel = run_threaded_with(&cfg, &tcfg).expect("parallel run");
+        assert_eq!(
+            parallel.final_model, serial.final_model,
+            "workers={workers}"
+        );
+        for (s, p) in serial.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(p.accuracy, s.accuracy, "workers={workers}");
+            assert_eq!(p.faults, s.faults, "workers={workers}");
+        }
+    }
+}
+
+#[test]
 fn combined_faults_complete_all_rounds_with_exact_accounting() {
     // The acceptance scenario: one corrupt update, one dead client, and one
     // straggler in a single run. Every round completes without panic or

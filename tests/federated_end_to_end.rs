@@ -14,6 +14,40 @@ fn quick_cfg() -> FlConfig {
 }
 
 #[test]
+fn in_process_parallel_ingest_is_bit_identical_to_serial() {
+    // The in-process session shares the ingest pool with the transports;
+    // the server-side decode of each round must land on the same bits for
+    // any worker count.
+    let small = FlConfig {
+        rounds: 2,
+        samples_per_client: 32,
+        test_samples: 48,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        ..FlConfig::default()
+    };
+    let serial = fedsz_fl::run(&FlConfig {
+        ingest_workers: 0,
+        ..small.clone()
+    })
+    .expect("serial run");
+    for workers in [1usize, 4] {
+        let parallel = fedsz_fl::run(&FlConfig {
+            ingest_workers: workers,
+            ..small.clone()
+        })
+        .expect("parallel run");
+        assert_eq!(
+            parallel.final_model, serial.final_model,
+            "workers={workers}"
+        );
+        for (s, p) in serial.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(p.accuracy, s.accuracy, "workers={workers}");
+            assert_eq!(p.bytes_on_wire, s.bytes_on_wire, "workers={workers}");
+        }
+    }
+}
+
+#[test]
 fn fedsz_cuts_wire_bytes_by_the_papers_factor() {
     let cfg = FlConfig {
         compression: FlConfig::with_fedsz(1e-2).compression,

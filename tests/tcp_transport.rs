@@ -204,6 +204,39 @@ fn poisoned_update_over_tcp_is_quarantined_with_channel_parity() {
 }
 
 #[test]
+fn parallel_ingest_over_tcp_is_bit_identical_to_serial() {
+    // Real sockets, hostile traffic (a corrupt payload in round 1), and the
+    // parallel decompress/validate pool: any worker count must land on the
+    // serial server's exact bits — same final model, same per-round
+    // accuracies, same fault accounting.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().corrupt(1, 1),
+        ..TransportConfig::default()
+    };
+    let mut base = fl_cfg(4, 2);
+    base.ingest_workers = 0;
+    let serial = run_tcp_with(&base, &tcfg, &fast_net()).expect("serial run");
+    for workers in [1usize, 4, 8] {
+        let mut cfg = fl_cfg(4, 2);
+        cfg.ingest_workers = workers;
+        let parallel = run_tcp_with(&cfg, &tcfg, &fast_net()).expect("parallel run");
+        assert_eq!(
+            parallel.final_model, serial.final_model,
+            "workers={workers}"
+        );
+        assert_eq!(
+            per_round(&parallel),
+            per_round(&serial),
+            "workers={workers}"
+        );
+        for (s, p) in serial.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(p.accuracy, s.accuracy, "workers={workers}");
+            assert_eq!(p.faults, s.faults, "workers={workers}");
+        }
+    }
+}
+
+#[test]
 fn quorum_not_met_over_tcp_is_a_typed_error() {
     let tcfg = TransportConfig {
         min_quorum: 2,
