@@ -14,9 +14,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use fedsz::{
-    census, compress_with_stats, decompress, CompressedUpdate, ErrorBound, FedSzConfig,
+    census, compress_with_stats, decompress, CodecError, CompressedUpdate, ErrorBound, FedSzConfig,
     LosslessKind, LossyKind, Route,
 };
+use fedsz_fl::FlError;
 use fedsz_models::ModelKind;
 use fedsz_tensor::StateDict;
 
@@ -46,11 +47,41 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Map a codec failure onto the CLI's `Decode` bucket, naming every
+/// [`CodecError`] variant: fedsz-lint's `error-enum-coverage` rule keeps
+/// this match in sync with the enum, so a new decode failure mode is an
+/// explicit classification decision here rather than a silent fall-through.
+fn classify_codec(context: &str, e: CodecError) -> CliError {
+    match e {
+        CodecError::UnexpectedEof => {
+            CliError::Decode(format!("{context}: unexpected end of compressed stream"))
+        }
+        CodecError::Corrupt(what) => CliError::Decode(format!("{context}: corrupt stream: {what}")),
+    }
+}
+
+/// Map a federated-run failure onto the CLI's buckets, naming every
+/// [`FlError`] variant (same `error-enum-coverage` contract as
+/// [`classify_codec`]). A `Codec` inner error is a *decode* problem and
+/// routes to the `Decode` bucket directly — previously it was stringified
+/// into `Run`, which printed a doubled "run error: update decode failed:
+/// corrupt stream: ..." report.
+fn classify_fl(e: FlError) -> CliError {
+    match e {
+        FlError::Codec(inner) => classify_codec("update", inner),
+        e @ (FlError::QuorumNotMet { .. }
+        | FlError::AllClientsDead { .. }
+        | FlError::ServerKilled { .. }) => CliError::Run(e.to_string()),
+        FlError::Transport(m) => CliError::Run(format!("transport error: {m}")),
+        FlError::Checkpoint(m) => CliError::Run(format!("checkpoint error: {m}")),
+    }
+}
+
 fn read_update(path: &Path) -> Result<StateDict, CliError> {
     let bytes =
         std::fs::read(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
     decompress(&CompressedUpdate::from_bytes(bytes))
-        .map_err(|e| CliError::Decode(format!("{}: {e}", path.display())))
+        .map_err(|e| classify_codec(&path.display().to_string(), e))
 }
 
 fn write_lossless(sd: &StateDict, path: &Path) -> Result<usize, CliError> {
@@ -417,8 +448,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         let id = opts
             .client_id
             .ok_or_else(|| CliError::Usage("--connect requires --client-id".into()))?;
-        fedsz_fl::run_tcp_client(addr, id, &cfg, idle, &ncfg)
-            .map_err(|e| CliError::Run(e.to_string()))?;
+        fedsz_fl::run_tcp_client(addr, id, &cfg, idle, &ncfg).map_err(classify_fl)?;
         return Ok(format!(
             "client {id} finished against {addr} ({} clients x {} samples, seed {})",
             opts.clients, opts.samples, opts.seed
@@ -433,7 +463,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             None => fedsz_fl::run_tcp_with(&cfg, &tcfg, &ncfg),
         },
     }
-    .map_err(|e| CliError::Run(e.to_string()))?;
+    .map_err(classify_fl)?;
 
     let mut out = String::new();
     let _ = writeln!(

@@ -6,7 +6,7 @@
 use std::time::Instant;
 
 use fedsz_eblc::{ErrorBound, LossyKind};
-use fedsz_entropy::{varint, CodecError};
+use fedsz_entropy::{reader, varint, CodecError};
 use fedsz_lossless::LosslessKind;
 use fedsz_tensor::{f32s_to_le_bytes, StateDict, Tensor, TensorKind};
 use rayon::prelude::*;
@@ -158,12 +158,13 @@ struct FrameHeader {
 pub fn decompress_with_stats(update: &CompressedUpdate) -> Result<(StateDict, f64), CodecError> {
     let t0 = Instant::now();
     let data = &update.bytes;
-    if data.len() < 6 || data[0..4] != MAGIC {
+    let mut pos = 0usize;
+    let magic = reader::take(data, &mut pos, 4)?;
+    if magic != MAGIC {
         return Err(CodecError::Corrupt("bad FedSZ magic"));
     }
-    let lossy = LossyKind::from_tag(data[4])?;
-    let lossless = LosslessKind::from_tag(data[5])?;
-    let mut pos = 6usize;
+    let lossy = LossyKind::from_tag(reader::read_u8(data, &mut pos)?)?;
+    let lossless = LosslessKind::from_tag(reader::read_u8(data, &mut pos)?)?;
     let n_entries = varint::read_usize(data, &mut pos)?;
 
     // First pass: slice out frames (cheap), then decode payloads in parallel.
@@ -227,10 +228,7 @@ pub fn decompress_with_stats(update: &CompressedUpdate) -> Result<(StateDict, f6
                     if !bytes.len().is_multiple_of(4) {
                         return Err(CodecError::Corrupt("lossless payload not f32-aligned"));
                     }
-                    bytes
-                        .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                        .collect()
+                    reader::f32s_from_le_bytes(&bytes)
                 }
             };
             Ok((hdr, values))

@@ -9,7 +9,7 @@
 
 use fedsz_entropy::bitio::{BitReader, BitWriter};
 use fedsz_entropy::huffman::{HuffmanDecoder, HuffmanEncoder};
-use fedsz_entropy::{varint, CodecError};
+use fedsz_entropy::{reader, varint, CodecError};
 use rayon::prelude::*;
 
 use crate::quantizer::{Quantizer, NUM_CODES};
@@ -205,13 +205,9 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
         MODE_RAW => {
             let mut pos = 0usize;
             let n = varint::read_usize(rest, &mut pos)?;
-            let body = rest
-                .get(pos..pos + n * 4)
-                .ok_or(CodecError::UnexpectedEof)?;
-            Ok(body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect())
+            let span = reader::claimed_span(n, 4, rest.len().saturating_sub(pos))?;
+            let body = reader::take(rest, &mut pos, span)?;
+            Ok(reader::f32s_from_le_bytes(body))
         }
         MODE_NORMAL => {
             let payload = fedsz_lossless::zstd::decompress(rest)?;
@@ -224,9 +220,13 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
 fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
     let mut pos = 0usize;
     let n = varint::read_usize(payload, &mut pos)?;
-    let eb_bytes = payload.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
-    let abs_eb = f64::from_le_bytes(eb_bytes.try_into().unwrap());
-    pos += 8;
+    // A stream of L bytes cannot code more than 8·L elements (every code is
+    // at least one bit), so bomb-sized counts are rejected before any
+    // allocation sized from them.
+    if n > payload.len().saturating_mul(8) {
+        return Err(CodecError::Corrupt("SZ2 element count exceeds stream"));
+    }
+    let abs_eb = reader::read_f64_le(payload, &mut pos)?;
     if !(abs_eb.is_finite() && abs_eb > 0.0) {
         return Err(CodecError::Corrupt("invalid SZ2 error bound"));
     }
@@ -237,31 +237,21 @@ fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
         return Err(CodecError::Corrupt("SZ2 block count mismatch"));
     }
     let bitmap_len = n_blocks.div_ceil(8);
-    let bitmap = payload
-        .get(pos..pos + bitmap_len)
-        .ok_or(CodecError::UnexpectedEof)?;
-    pos += bitmap_len;
-    let is_regression = |i: usize| -> bool { bitmap[i / 8] & (1 << (i % 8)) != 0 };
+    let bitmap = reader::take(payload, &mut pos, bitmap_len)?;
+    let is_regression =
+        |i: usize| -> bool { bitmap.get(i / 8).is_some_and(|&b| b & (1 << (i % 8)) != 0) };
 
     let n_regression = (0..n_blocks).filter(|&i| is_regression(i)).count();
     let mut coeffs = Vec::with_capacity(n_regression);
     for _ in 0..n_regression {
-        let chunk = payload.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
-        let a = f32::from_le_bytes(chunk[0..4].try_into().unwrap());
-        let b = f32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let a = reader::read_f32_le(payload, &mut pos)?;
+        let b = reader::read_f32_le(payload, &mut pos)?;
         coeffs.push((a, b));
-        pos += 8;
     }
 
     let n_literals = varint::read_usize(payload, &mut pos)?;
-    let lit_bytes = payload
-        .get(pos..pos + n_literals * 4)
-        .ok_or(CodecError::UnexpectedEof)?;
-    let literals: Vec<f32> = lit_bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
-    pos += n_literals * 4;
+    let lit_span = reader::claimed_span(n_literals, 4, payload.len().saturating_sub(pos))?;
+    let literals = reader::f32s_from_le_bytes(reader::take(payload, &mut pos, lit_span)?);
 
     let mut r = BitReader::new(&payload[pos..]);
     let dec = HuffmanDecoder::read_table(&mut r)?;

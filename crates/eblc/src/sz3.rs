@@ -11,7 +11,7 @@
 
 use fedsz_entropy::bitio::{BitReader, BitWriter};
 use fedsz_entropy::huffman::{HuffmanDecoder, HuffmanEncoder};
-use fedsz_entropy::{varint, CodecError};
+use fedsz_entropy::{reader, varint, CodecError};
 use rayon::prelude::*;
 
 use crate::quantizer::{Quantizer, NUM_CODES};
@@ -215,13 +215,17 @@ fn decode_chunk(
     };
 
     let code = next_code(&mut ci)?;
-    rec[0] = if code == 0 {
+    let seed = if code == 0 {
         *lit_iter
             .next()
             .ok_or(CodecError::Corrupt("missing literal"))?
     } else {
         q.reconstruct(0.0, code)
     };
+    match rec.first_mut() {
+        Some(first) => *first = seed,
+        None => return Ok(rec),
+    }
 
     for (lvl, s) in strides(m).into_iter().enumerate() {
         let use_cubic = cubic_mask & (1 << lvl.min(15)) != 0;
@@ -253,13 +257,9 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
         MODE_RAW => {
             let mut pos = 0usize;
             let n = varint::read_usize(rest, &mut pos)?;
-            let body = rest
-                .get(pos..pos + n * 4)
-                .ok_or(CodecError::UnexpectedEof)?;
-            Ok(body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect())
+            let span = reader::claimed_span(n, 4, rest.len().saturating_sub(pos))?;
+            let body = reader::take(rest, &mut pos, span)?;
+            Ok(reader::f32s_from_le_bytes(body))
         }
         MODE_NORMAL => {
             let payload = fedsz_lossless::zstd::decompress(rest)?;
@@ -272,9 +272,12 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
 fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
     let mut pos = 0usize;
     let n = varint::read_usize(payload, &mut pos)?;
-    let eb_bytes = payload.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
-    let abs_eb = f64::from_le_bytes(eb_bytes.try_into().unwrap());
-    pos += 8;
+    // Reject bomb-sized element counts before sizing any allocation: L
+    // bytes cannot code more than 8·L one-bit symbols.
+    if n > payload.len().saturating_mul(8) {
+        return Err(CodecError::Corrupt("SZ3 element count exceeds stream"));
+    }
+    let abs_eb = reader::read_f64_le(payload, &mut pos)?;
     if !(abs_eb.is_finite() && abs_eb > 0.0) {
         return Err(CodecError::Corrupt("invalid SZ3 error bound"));
     }
@@ -286,20 +289,13 @@ fn decode_payload(payload: &[u8]) -> Result<Vec<f32>, CodecError> {
     }
     let mut masks = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
-        let b = payload.get(pos..pos + 2).ok_or(CodecError::UnexpectedEof)?;
-        masks.push(u16::from_le_bytes([b[0], b[1]]));
-        pos += 2;
+        let b = reader::take_array::<2>(payload, &mut pos)?;
+        masks.push(u16::from_le_bytes(b));
     }
 
     let n_literals = varint::read_usize(payload, &mut pos)?;
-    let lit_bytes = payload
-        .get(pos..pos + n_literals * 4)
-        .ok_or(CodecError::UnexpectedEof)?;
-    let literals: Vec<f32> = lit_bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
-    pos += n_literals * 4;
+    let lit_span = reader::claimed_span(n_literals, 4, payload.len().saturating_sub(pos))?;
+    let literals = reader::f32s_from_le_bytes(reader::take(payload, &mut pos, lit_span)?);
 
     let mut r = BitReader::new(&payload[pos..]);
     let dec = HuffmanDecoder::read_table(&mut r)?;

@@ -18,7 +18,7 @@
 //!   intentionally NOT error-bounded.
 
 use fedsz_entropy::bitio::{BitReader, BitWriter};
-use fedsz_entropy::{varint, CodecError};
+use fedsz_entropy::{reader, varint, CodecError};
 
 use crate::ErrorBound;
 
@@ -187,19 +187,19 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
     match mode {
         MODE_RAW => {
             let n = varint::read_usize(rest, &mut pos)?;
-            let body = rest
-                .get(pos..pos + n * 4)
-                .ok_or(CodecError::UnexpectedEof)?;
-            Ok(body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect())
+            let span = reader::claimed_span(n, 4, rest.len().saturating_sub(pos))?;
+            let body = reader::take(rest, &mut pos, span)?;
+            Ok(reader::f32s_from_le_bytes(body))
         }
         MODE_STRICT => {
             let n = varint::read_usize(rest, &mut pos)?;
-            let eb_bytes = rest.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
-            let abs_eb = f64::from_le_bytes(eb_bytes.try_into().unwrap());
-            pos += 8;
+            // A block of up to BLOCK elements costs at least one header
+            // bit, so L bytes bound the element count; reject bombs
+            // before `with_capacity(n)`.
+            if n > rest.len().saturating_mul(8).saturating_mul(BLOCK) {
+                return Err(CodecError::Corrupt("SZx element count exceeds stream"));
+            }
+            let abs_eb = reader::read_f64_le(rest, &mut pos)?;
             if !(abs_eb.is_finite() && abs_eb > 0.0) {
                 return Err(CodecError::Corrupt("invalid SZx bound"));
             }
@@ -236,10 +236,10 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
         }
         MODE_PAPER => {
             let n = varint::read_usize(rest, &mut pos)?;
-            pos += 8; // stored bound, unused on decode
-            if rest.len() < pos {
-                return Err(CodecError::UnexpectedEof);
+            if n > rest.len().saturating_mul(8).saturating_mul(BLOCK) {
+                return Err(CodecError::Corrupt("SZx element count exceeds stream"));
             }
+            reader::take(rest, &mut pos, 8)?; // stored bound, unused on decode
             let mut r = BitReader::new(&rest[pos..]);
             let mut out = Vec::with_capacity(n);
             while out.len() < n {

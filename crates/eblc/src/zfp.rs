@@ -13,7 +13,7 @@
 //! (Table I).
 
 use fedsz_entropy::bitio::{BitReader, BitWriter};
-use fedsz_entropy::{varint, CodecError};
+use fedsz_entropy::{reader, varint, CodecError};
 use rayon::prelude::*;
 
 use crate::{value_range, ErrorBound};
@@ -258,18 +258,18 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
     match mode {
         MODE_RAW => {
             let n = varint::read_usize(rest, &mut pos)?;
-            let body = rest
-                .get(pos..pos + n * 4)
-                .ok_or(CodecError::UnexpectedEof)?;
-            Ok(body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect())
+            let span = reader::claimed_span(n, 4, rest.len().saturating_sub(pos))?;
+            let body = reader::take(rest, &mut pos, span)?;
+            Ok(reader::f32s_from_le_bytes(body))
         }
         MODE_NORMAL => {
             let n = varint::read_usize(rest, &mut pos)?;
-            let planes = *rest.get(pos).ok_or(CodecError::UnexpectedEof)? as u32;
-            pos += 1;
+            // A block of 4 values costs at least one bit, so L bytes bound
+            // the element count; reject bombs before `with_capacity(n)`.
+            if n > rest.len().saturating_mul(32) {
+                return Err(CodecError::Corrupt("ZFP element count exceeds stream"));
+            }
+            let planes = reader::read_u8(rest, &mut pos)? as u32;
             if planes == 0 || planes > 30 {
                 return Err(CodecError::Corrupt("ZFP precision out of range"));
             }
@@ -277,10 +277,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
             let mut out = Vec::with_capacity(n);
             while out.len() < n {
                 let chunk_len = varint::read_usize(rest, &mut pos)?;
-                let chunk = rest
-                    .get(pos..pos + chunk_len)
-                    .ok_or(CodecError::UnexpectedEof)?;
-                pos += chunk_len;
+                let chunk = reader::take(rest, &mut pos, chunk_len)?;
                 let mut r = BitReader::new(chunk);
                 let chunk_values = (n - out.len()).min(BLOCKS_PER_CHUNK * 4);
                 let mut produced = 0usize;

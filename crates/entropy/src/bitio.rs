@@ -109,7 +109,9 @@ impl<'a> BitReader<'a> {
     /// Read `n` bits (`n <= 57`), MSB first.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
-        debug_assert!(n <= 57);
+        if n > 57 {
+            return Err(CodecError::Corrupt("bit read wider than accumulator"));
+        }
         if n == 0 {
             return Ok(0);
         }

@@ -10,11 +10,13 @@
 //!   `xz`-analogue codec.
 //! * [`crc32`] — IEEE CRC-32, used by the `gzip`-analogue framing.
 //! * [`varint`] — LEB128 variable-length integers for frame headers.
+//! * [`reader`] — checked byte-cursor reads for hostile decode paths.
 
 pub mod bitio;
 pub mod crc32;
 pub mod huffman;
 pub mod rangecoder;
+pub mod reader;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};

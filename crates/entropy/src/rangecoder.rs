@@ -184,6 +184,18 @@ impl<'a> RangeDecoder<'a> {
         bit
     }
 
+    /// Has the decoder read meaningfully past the end of its input?
+    ///
+    /// Reads past the end synthesize zero bytes so a well-formed stream can
+    /// resolve its last few modeled bits, but a decoder still asking for
+    /// input long after the bytes ran out is decoding garbage. Callers with
+    /// a length-driven loop (a hostile header can claim any output size)
+    /// must poll this to turn an unbounded decode into an error. The slack
+    /// covers the encoder's flush plus one renormalization.
+    pub fn exhausted(&self) -> bool {
+        self.pos > self.data.len().saturating_add(16)
+    }
+
     /// Decode `n` raw bits written with [`RangeEncoder::encode_direct`].
     pub fn decode_direct(&mut self, n: u32) -> u32 {
         let mut value = 0u32;

@@ -128,8 +128,11 @@ impl Checkpoint {
     /// Serialize to the on-disk layout, CRC-32 trailer included.
     pub fn encode(&self) -> Vec<u8> {
         let sd_bytes = self.global.to_bytes();
-        let mut out =
-            Vec::with_capacity(HEADER_LEN + self.rounds.len() * ROW_LEN + 12 + sd_bytes.len());
+        let cap = HEADER_LEN
+            .saturating_add(self.rounds.len().saturating_mul(ROW_LEN))
+            .saturating_add(12)
+            .saturating_add(sd_bytes.len());
+        let mut out = Vec::with_capacity(cap);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&self.fingerprint.to_le_bytes());
         out.extend_from_slice(&(self.round as u64).to_le_bytes());
@@ -152,7 +155,7 @@ impl Checkpoint {
         out.extend_from_slice(&(sd_bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&sd_bytes);
         let mut crc = Crc32::new();
-        crc.update(&out[4..]);
+        crc.update(out.get(4..).unwrap_or_default());
         out.extend_from_slice(&crc.finish().to_le_bytes());
         out
     }
@@ -165,17 +168,20 @@ impl Checkpoint {
         if bytes.len() as u64 > MAX_CHECKPOINT_BYTES {
             return Err(corrupt("file exceeds the size cap"));
         }
-        if bytes.len() < HEADER_LEN + 8 + 4 {
+        if bytes.len() < HEADER_LEN.saturating_add(12) {
             return Err(corrupt("truncated"));
         }
-        if bytes[..4] != MAGIC {
+        if bytes.get(..4) != Some(&MAGIC[..]) {
             return Err(corrupt("bad magic"));
         }
         // Verify the trailer before trusting any length field.
         let body_end = bytes.len() - 4;
-        let expected = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+        let expected = match bytes.get(body_end..) {
+            Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]),
+            _ => return Err(corrupt("truncated")),
+        };
         let mut crc = Crc32::new();
-        crc.update(&bytes[4..body_end]);
+        crc.update(bytes.get(4..body_end).unwrap_or_default());
         if crc.finish() != expected {
             return Err(corrupt("CRC-32 mismatch"));
         }
@@ -187,8 +193,11 @@ impl Checkpoint {
         if n_rounds > MAX_ROUNDS {
             return Err(corrupt("implausible round count"));
         }
-        if n_rounds != round + 1 {
-            // The accumulated rows always cover rounds 0..=round.
+        // The accumulated rows always cover rounds 0..=round. `round` is
+        // attacker-writable (the CRC only proves integrity of what was
+        // written, not who wrote it), so `round + 1` must not be allowed to
+        // overflow: compare against the checked successor instead.
+        if Some(n_rounds) != round.checked_add(1) {
             return Err(corrupt("round count does not match the round index"));
         }
         let mut rounds = Vec::with_capacity(n_rounds as usize);
@@ -247,7 +256,10 @@ fn read_u64(bytes: &[u8], pos: &mut usize, end: usize) -> Result<u64, FlError> {
     let Some(next) = next else {
         return Err(corrupt("truncated"));
     };
-    let v = u64::from_le_bytes(bytes[*pos..next].try_into().unwrap());
+    let v = match bytes.get(*pos..next) {
+        Some(&[a, b, c, d, e, f, g, h]) => u64::from_le_bytes([a, b, c, d, e, f, g, h]),
+        _ => return Err(corrupt("truncated")),
+    };
     *pos = next;
     Ok(v)
 }

@@ -190,18 +190,20 @@ fn encode_body(frame: &Frame) -> Vec<u8> {
 /// produces such frames (the largest payload is one compressed model).
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let body = encode_body(frame);
+    // fedsz-lint: allow(no-panic-decode) -- encode-side invariant on locally built frames; documented panic, not reachable from peer bytes
     assert!(
         body.len() <= MAX_BODY,
         "frame body of {} bytes exceeds MAX_BODY",
         body.len()
     );
+    // fedsz-lint: allow(no-unchecked-arith-wire) -- body.len() <= MAX_BODY was just asserted; the sum cannot overflow
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
     out.push(frame_kind(frame));
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
     let mut crc = Crc32::new();
-    crc.update(&out[4..]);
+    crc.update(out.get(4..).unwrap_or_default());
     out.extend_from_slice(&crc.finish().to_le_bytes());
     out
 }
@@ -295,27 +297,36 @@ pub fn read_frame_reusing<R: Read>(
     let mut deadline = None;
     let mut header = [0u8; HEADER_LEN];
     read_full(r, &mut header, false, &mut deadline, frame_budget)?;
-    if header[0..4] != MAGIC {
+    let (magic, covered) = header.split_at(4);
+    if magic != MAGIC {
         return Err(WireError::BadMagic);
     }
-    let kind = header[4];
-    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    // HEADER_LEN is 9, so the part after the magic is always kind + 4 length
+    // bytes; the wildcard arm keeps the read total rather than trusting that.
+    let (kind, len) = match covered {
+        &[kind, l0, l1, l2, l3] => (kind, u32::from_le_bytes([l0, l1, l2, l3]) as usize),
+        _ => return Err(WireError::BadMagic),
+    };
     if len > MAX_BODY {
         return Err(WireError::TooLarge(len));
     }
     scratch.clear();
-    scratch.resize(len + TRAILER_LEN, 0);
+    scratch.resize(len.saturating_add(TRAILER_LEN), 0);
     let rest = scratch.as_mut_slice();
     read_full(r, rest, true, &mut deadline, frame_budget)?;
-    let expected = u32::from_le_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+    let (body, trailer) = rest.split_at(len);
+    let expected = match trailer {
+        &[a, b, c, d] => u32::from_le_bytes([a, b, c, d]),
+        _ => return Err(WireError::UnexpectedEof),
+    };
     let mut crc = Crc32::new();
-    crc.update(&header[4..]);
-    crc.update(&rest[..len]);
+    crc.update(covered);
+    crc.update(body);
     let actual = crc.finish();
     if actual != expected {
         return Err(WireError::BadCrc { expected, actual });
     }
-    decode_body(kind, &rest[..len])
+    decode_body(kind, body)
 }
 
 /// Write one frame, returning the number of bytes put on the wire.

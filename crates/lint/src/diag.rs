@@ -1,0 +1,126 @@
+//! Diagnostics: what a rule reports, and the human/JSON renderings.
+
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail the lint run; `Warning`
+/// findings are printed but do not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as it was walked or given (workspace-relative in `--workspace`
+    /// mode), forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier, e.g. `no-panic-decode`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file,
+            self.line,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render diagnostics as a JSON array (no dependencies, stable field order).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"file\":\"");
+        escape_json(&d.file, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"rule\":\"");
+        escape_json(d.rule, &mut out);
+        out.push_str("\",\"severity\":\"");
+        out.push_str(d.severity.as_str());
+        out.push_str("\",\"message\":\"");
+        escape_json(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str("\n]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/fl/src/wire.rs".into(),
+            line: 42,
+            rule: "no-panic-decode",
+            severity: Severity::Error,
+            message: "`.unwrap()` in a hostile-input module".into(),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("crates/fl/src/wire.rs:42: error [no-panic-decode]"));
+    }
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let d = Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: "no-panic-decode",
+            severity: Severity::Warning,
+            message: "tab\there".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there"));
+        assert!(j.contains("\"severity\":\"warning\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_is_an_empty_array() {
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+}

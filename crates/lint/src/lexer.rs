@@ -1,0 +1,493 @@
+//! A hand-rolled, lossy-but-honest Rust lexer.
+//!
+//! The rules in this crate are token-level pattern matchers, so the lexer's
+//! only job is to split source text into tokens that can never be confused
+//! with one another: an `unwrap` inside a string literal, a `+` inside a
+//! comment, or a brace inside a char literal must not look like code. It
+//! therefore handles every literal form that can contain arbitrary bytes —
+//! plain and raw strings (any `#` depth), byte strings, char literals,
+//! lifetimes, nested block comments — and deliberately nothing more: no
+//! syntax tree, no spans beyond a line number, no keyword table baked into
+//! the token type.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident(String),
+    /// Lifetime such as `'a` or `'static` (name without the quote).
+    Lifetime(String),
+    /// Integer literal (any base, suffix included in the source).
+    Int,
+    /// Float literal.
+    Float,
+    /// String, raw-string, byte-string, or C-string literal.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Line comment; the payload is everything after `//`.
+    LineComment(String),
+    /// Block comment (possibly nested).
+    BlockComment,
+    /// Any other single character of punctuation.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Rust keywords that can precede a `[` without making it an index
+/// expression (`let [a, b] = ...`, `return [x]`, `in [..]`, ...).
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos.saturating_add(ahead)).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. The lexer never fails: malformed input degrades to
+/// punctuation tokens, which is safe for this crate's pattern rules (they
+/// only ever under-match on garbage, and garbage does not compile anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                out.push(Token {
+                    tok: Tok::LineComment(text),
+                    line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::BlockComment,
+                    line,
+                });
+            }
+            b'"' => {
+                lex_plain_string(&mut c);
+                out.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_prefixed_literal(&c) => {
+                let tok = lex_prefixed_literal(&mut c);
+                out.push(Token { tok, line });
+            }
+            b'\'' => {
+                let tok = lex_quote(&mut c);
+                out.push(Token { tok, line });
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                let name = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                out.push(Token {
+                    tok: Tok::Ident(name),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let tok = lex_number(&mut c);
+                out.push(Token { tok, line });
+            }
+            _ => {
+                c.bump();
+                out.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#`-string, `br`/`b"`/`b'`/`c"` style
+/// prefixed literal (as opposed to a plain identifier starting with r/b/c)?
+fn starts_prefixed_literal(c: &Cursor) -> bool {
+    let b0 = c.peek();
+    let b1 = c.peek_at(1);
+    let b2 = c.peek_at(2);
+    match (b0, b1) {
+        // r"..."  r#"..."#  r#ident (raw identifier -> not a literal)
+        (Some(b'r'), Some(b'"')) => true,
+        (Some(b'r'), Some(b'#')) => {
+            // Distinguish r#"..."# (string) from r#ident (raw identifier).
+            let mut i = 1usize;
+            while c.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            c.peek_at(i) == Some(b'"')
+        }
+        // b"..."  b'x'  br"..."  br#"..."#
+        (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(b2, Some(b'"') | Some(b'#')),
+        // c"..." (C strings, Rust 1.77+)
+        (Some(b'c'), Some(b'"')) => true,
+        _ => false,
+    }
+}
+
+fn lex_plain_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_prefixed_literal(c: &mut Cursor) -> Tok {
+    // Consume the b/c/r prefix letters.
+    while c.peek().is_some_and(|b| matches!(b, b'b' | b'c' | b'r')) {
+        if matches!(c.peek(), Some(b'"') | Some(b'#') | Some(b'\'')) {
+            break;
+        }
+        c.bump();
+    }
+    match c.peek() {
+        Some(b'\'') => lex_quote(c),
+        Some(b'#') | Some(b'"') => {
+            let mut hashes = 0usize;
+            while c.peek() == Some(b'#') {
+                c.bump();
+                hashes += 1;
+            }
+            if c.peek() != Some(b'"') {
+                return Tok::Punct('#');
+            }
+            c.bump(); // opening quote
+            if hashes == 0 && !is_raw_context(c) {
+                // b"..." with escapes.
+                while let Some(b) = c.bump() {
+                    match b {
+                        b'\\' => {
+                            c.bump();
+                        }
+                        b'"' => break,
+                        _ => {}
+                    }
+                }
+                return Tok::Str;
+            }
+            // Raw string: scan for `"` followed by `hashes` hash marks.
+            loop {
+                match c.bump() {
+                    None => break,
+                    Some(b'"') => {
+                        let mut seen = 0usize;
+                        while seen < hashes && c.peek() == Some(b'#') {
+                            c.bump();
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+            Tok::Str
+        }
+        _ => Tok::Str,
+    }
+}
+
+/// After consuming a literal prefix and its quote we cannot tell `b"` from
+/// `r"`/`br"` any more; both `r`-forms are raw (no escapes). A plain `b"`
+/// has escapes. We approximate by looking one byte *behind* the quote.
+fn is_raw_context(c: &Cursor) -> bool {
+    let mut i = c.pos.saturating_sub(2);
+    loop {
+        match c.src.get(i) {
+            Some(b'r') => return true,
+            Some(b'b') | Some(b'c') | Some(b'#') if i > 0 => i -= 1,
+            _ => return false,
+        }
+    }
+}
+
+/// Lex from a `'`: either a char literal or a lifetime.
+fn lex_quote(c: &mut Cursor) -> Tok {
+    c.bump(); // the quote
+    match c.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume to the closing quote.
+            c.bump();
+            c.bump(); // the escaped char (for \u{..} the loop below finishes it)
+            while c.peek().is_some_and(|b| b != b'\'') {
+                c.bump();
+            }
+            c.bump();
+            Tok::Char
+        }
+        Some(b) if is_ident_start(b) => {
+            // 'a' is a char; 'a without a closing quote is a lifetime.
+            let start = c.pos;
+            while c.peek().is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            if c.peek() == Some(b'\'') {
+                c.bump();
+                Tok::Char
+            } else {
+                let name = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                Tok::Lifetime(name)
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '{' or ' '.
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+            }
+            Tok::Char
+        }
+        None => Tok::Punct('\''),
+    }
+}
+
+fn lex_number(c: &mut Cursor) -> Tok {
+    let mut float = false;
+    // Leading digits (covers 0x/0b/0o bodies and type suffixes: letters,
+    // digits and underscores all continue the literal).
+    while c
+        .peek()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        let was_exp = matches!(c.peek(), Some(b'e') | Some(b'E')) && float;
+        c.bump();
+        // A signed exponent: 1.5e-3.
+        if was_exp && matches!(c.peek(), Some(b'+') | Some(b'-')) {
+            c.bump();
+        }
+    }
+    // A fractional part only if the dot is followed by a digit (so `0..n`
+    // stays a range and `x.1` stays a tuple index).
+    if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        float = true;
+        c.bump();
+        while c
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            let was_exp = matches!(c.peek(), Some(b'e') | Some(b'E'));
+            c.bump();
+            if was_exp && matches!(c.peek(), Some(b'+') | Some(b'-')) {
+                c.bump();
+            }
+        }
+    }
+    if float {
+        Tok::Float
+    } else {
+        Tok::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_keywords_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Ident("a".into()),
+                Tok::Punct('.'),
+                Tok::Ident("unwrap".into()),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x.unwrap() + len";"#);
+        assert!(toks.contains(&Tok::Str));
+        assert!(!toks.iter().any(|t| t == &Tok::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = kinds(r###"let s = r#"embedded "quote" and unwrap()"#;"###);
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t == &Tok::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_c_strings() {
+        assert!(kinds(r#"b"magic""#).contains(&Tok::Str));
+        assert!(kinds(r##"br#"raw"#"##).contains(&Tok::Str));
+        assert!(kinds(r#"c"cstr""#).contains(&Tok::Str));
+        // A plain identifier starting with b is still an identifier.
+        assert_eq!(kinds("bytes"), vec![Tok::Ident("bytes".into())]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'a'"), vec![Tok::Char]);
+        assert_eq!(kinds("'\\n'"), vec![Tok::Char]);
+        assert_eq!(kinds("'\\u{1F600}'"), vec![Tok::Char]);
+        assert_eq!(kinds("&'a str")[1], Tok::Lifetime("a".into()));
+        assert_eq!(kinds("&'static str")[1], Tok::Lifetime("static".into()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_text() {
+        let toks = lex("x // fedsz-lint: allow(r1) -- reason\ny");
+        assert!(matches!(
+            &toks[1].tok,
+            Tok::LineComment(t) if t.contains("allow(r1)")
+        ));
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(kinds("/* a /* nested */ b */ z").len(), 2);
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        assert_eq!(kinds("1.5e-3"), vec![Tok::Float]);
+        assert_eq!(kinds("0x7FF"), vec![Tok::Int]);
+        assert_eq!(
+            kinds("0..n"),
+            vec![
+                Tok::Int,
+                Tok::Punct('.'),
+                Tok::Punct('.'),
+                Tok::Ident("n".into())
+            ]
+        );
+        assert_eq!(kinds("1_000u64"), vec![Tok::Int]);
+    }
+
+    #[test]
+    fn line_numbers_advance_inside_literals() {
+        let toks = lex("let a = \"line\n\nbreaks\";\nfinal_ident");
+        let last = toks.last().expect("tokens");
+        assert_eq!(last.tok, Tok::Ident("final_ident".into()));
+        assert_eq!(last.line, 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! fedsz-lint: a workspace static analyzer for the FedSZ codebase.
+//!
+//! The FL stack makes promises no general-purpose linter knows about: the
+//! server survives arbitrary client bytes (PR 1), checkpoints are durable
+//! and validated (PR 2), the wire codec tolerates hostile lengths (PR 3),
+//! and aggregation is bit-identical regardless of worker count or arrival
+//! order (PR 4). This crate enforces those invariants as token-level lint
+//! rules with file/line diagnostics — see [`rules`] for the rule set and
+//! DESIGN.md §10 for the rationale behind each one.
+//!
+//! The analyzer is deliberately self-contained: a hand-rolled lexer
+//! ([`lexer`]), no `syn`, no dependencies. Run it as
+//!
+//! ```text
+//! cargo run -p fedsz-lint -- --workspace [--json]
+//! ```
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{to_json, Diagnostic, Severity};
+pub use engine::{collect_workspace_files, lint_files, lint_sources};
+pub use rules::Config;
+
+/// Did a run fail? Only `Error`-severity findings gate; warnings inform.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}

@@ -1,0 +1,166 @@
+//! Drives the linter over the fixture trees in `tests/fixtures/`.
+//!
+//! Each fixture set mirrors the real workspace layout (`fl/src/wire.rs`,
+//! `cli/src/lib.rs`, ...) so the path-suffix scoping in [`fedsz_lint::Config`]
+//! applies to it exactly as it does to production code. Every rule gets a
+//! positive hit, a clean pass, and a suppression check.
+
+use std::path::{Path, PathBuf};
+
+use fedsz_lint::{has_errors, lint_files, Config, Diagnostic, Severity};
+
+/// Collect every `.rs` file under `tests/fixtures/<set>/`, keyed by its path
+/// relative to the set root (that relative path is what the scoping rules
+/// match against).
+fn fixture_set(set: &str) -> Vec<(String, PathBuf)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(set);
+    let mut out = Vec::new();
+    collect(&root, &root, &mut out);
+    assert!(!out.is_empty(), "fixture set {set} is empty or missing");
+    out.sort();
+    out
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) {
+    for entry in std::fs::read_dir(dir).expect("fixture dir readable") {
+        let path = entry.expect("fixture entry readable").path();
+        if path.is_dir() {
+            collect(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("fixture under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+}
+
+fn lint_set(set: &str) -> Vec<Diagnostic> {
+    lint_files(&fixture_set(set), &Config::default())
+}
+
+fn rules_hit(diags: &[Diagnostic]) -> Vec<&str> {
+    let mut rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn r1_flags_every_panic_pattern_and_skips_test_code() {
+    let diags = lint_set("r1_hits");
+    assert!(
+        diags.iter().all(|d| d.rule == "no-panic-decode"),
+        "only no-panic-decode should fire: {diags:?}"
+    );
+    // One each: literal index, panic!, unwrap, assert!.
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(
+        lines,
+        vec![4, 6, 9, 13],
+        "hits at the four marked lines: {diags:?}"
+    );
+    // Nothing from the #[cfg(test)] module (lines 16+).
+    assert!(
+        diags.iter().all(|d| d.line < 16),
+        "test code must be exempt: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    assert!(diags.iter().all(|d| d.file == "fl/src/wire.rs"));
+}
+
+#[test]
+fn r1_clean_file_passes() {
+    let diags = lint_set("r1_clean");
+    assert!(
+        diags.is_empty(),
+        "approved patterns must not fire: {diags:?}"
+    );
+}
+
+#[test]
+fn r1_allow_pragma_suppresses_both_placements() {
+    // Pragma on the preceding line and trailing on the same line.
+    let diags = lint_set("r1_allow");
+    assert!(
+        diags.is_empty(),
+        "justified pragmas must suppress: {diags:?}"
+    );
+}
+
+#[test]
+fn r2_flags_hashmap_in_deterministic_module() {
+    let diags = lint_set("r2_hits");
+    assert_eq!(
+        rules_hit(&diags),
+        vec!["no-unordered-iteration"],
+        "{diags:?}"
+    );
+    assert!(has_errors(&diags));
+    assert!(diags.iter().all(|d| d.file == "fl/src/aggregate.rs"));
+}
+
+#[test]
+fn r3_flags_clocks_and_rng_outside_timing_modules() {
+    let diags = lint_set("r3_hits");
+    assert_eq!(rules_hit(&diags), vec!["no-ambient-entropy"], "{diags:?}");
+    // Instant::now, SystemTime::now, thread_rng: three distinct sites.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+}
+
+#[test]
+fn r4_flags_unchecked_length_arithmetic_only() {
+    let diags = lint_set("r4_hits");
+    assert_eq!(
+        rules_hit(&diags),
+        vec!["no-unchecked-arith-wire"],
+        "{diags:?}"
+    );
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    // `pos + len` and `n * row_len` fire; `pos.checked_add(len)` does not.
+    assert_eq!(lines, vec![4, 8], "{diags:?}");
+}
+
+#[test]
+fn r5_flags_produced_but_unreported_variant_at_definition() {
+    let diags = lint_set("r5_gap");
+    let cov: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "error-enum-coverage")
+        .collect();
+    assert_eq!(cov.len(), 1, "exactly the Checkpoint gap: {diags:?}");
+    assert_eq!(
+        cov[0].file, "fl/src/error.rs",
+        "anchored at the enum definition"
+    );
+    assert!(
+        cov[0].message.contains("Checkpoint"),
+        "names the missing variant: {}",
+        cov[0].message
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.message.contains("QuorumNotMet") || d.message.contains("Transport")),
+        "covered variants must not be flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn unknown_rule_pragma_is_an_error_and_suppresses_nothing() {
+    let diags = lint_set("bad_pragma");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "bad-pragma" && d.severity == Severity::Error),
+        "misspelled rule name must be reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "no-panic-decode"),
+        "a bad pragma must not suppress the underlying finding: {diags:?}"
+    );
+}

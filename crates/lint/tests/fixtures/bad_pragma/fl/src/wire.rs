@@ -1,0 +1,6 @@
+// Fixture: a pragma naming an unknown rule is itself an error, and it must
+// not suppress anything.
+
+pub fn read(v: Option<u8>) -> u8 {
+    v.unwrap() // fedsz-lint: allow(no-such-rule) -- misspelled rule name
+}

@@ -1,0 +1,10 @@
+// Fixture: a violation suppressed by a justified pragma — no findings.
+
+pub fn encode(body: &[u8], max: usize) {
+    // fedsz-lint: allow(no-panic-decode) -- encode side, body is locally built and bounded
+    assert!(body.len() <= max);
+}
+
+pub fn trailing(v: Option<u8>) -> u8 {
+    v.unwrap() // fedsz-lint: allow(no-panic-decode) -- caller proved Some on the line above
+}

@@ -1,0 +1,23 @@
+// Fixture: hostile-input module written the approved way — no findings.
+
+pub enum WireError {
+    UnexpectedEof,
+}
+
+pub fn read_header(buf: &[u8]) -> Result<u8, WireError> {
+    match buf.first() {
+        Some(&kind) => Ok(kind),
+        None => Err(WireError::UnexpectedEof),
+    }
+}
+
+pub fn read_len(buf: &[u8]) -> Result<u32, WireError> {
+    match buf.get(1..5) {
+        Some(&[a, b, c, d]) => Ok(u32::from_le_bytes([a, b, c, d])),
+        _ => Err(WireError::UnexpectedEof),
+    }
+}
+
+pub fn body_span(pos: usize, len: usize) -> Option<usize> {
+    pos.checked_add(len)
+}

@@ -1,0 +1,26 @@
+// Fixture: every no-panic-decode pattern fires in a hostile-input module.
+
+pub fn read_header(buf: &[u8]) -> u32 {
+    let kind = buf[0]; // literal index
+    if kind > 3 {
+        panic!("bad kind"); // panic macro
+    }
+    let len: Result<u32, ()> = Ok(0);
+    len.unwrap() // unwrap on a Result
+}
+
+pub fn check_len(len: usize, max: usize) {
+    assert!(len <= max, "too big"); // assert macro
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let first = [1u8, 2][0];
+        assert!(first == 1);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: nondeterministic containers in a deterministic module.
+
+use std::collections::HashMap;
+
+pub fn sum_by_client(updates: &[(u64, f32)]) -> Vec<(u64, f32)> {
+    let mut acc: HashMap<u64, f32> = HashMap::new();
+    for &(id, v) in updates {
+        *acc.entry(id).or_insert(0.0) += v;
+    }
+    acc.into_iter().collect() // iteration order varies run to run
+}

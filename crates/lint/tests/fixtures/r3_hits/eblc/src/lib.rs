@@ -1,0 +1,15 @@
+// Fixture: ambient clocks and randomness outside the timing/bench modules.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _t = Instant::now(); // wall-clock outside the timing modules
+    SystemTime::now() // ambient wall clock
+        .elapsed()
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn jitter() -> u64 {
+    thread_rng().gen() // ambient randomness (fixture is lexed, never compiled)
+}

@@ -1,0 +1,13 @@
+// Fixture: unchecked length arithmetic in a checkpoint codec.
+
+pub fn frame_end(pos: usize, len: usize) -> usize {
+    pos + len // hostile length can overflow
+}
+
+pub fn total_size(n: usize, row_len: usize) -> usize {
+    n * row_len // hostile count can overflow
+}
+
+pub fn checked_end(pos: usize, len: usize) -> Option<usize> {
+    pos.checked_add(len) // the approved form: no finding
+}

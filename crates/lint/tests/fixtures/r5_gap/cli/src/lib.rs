@@ -1,0 +1,12 @@
+// Fixture: the CLI reporter names QuorumNotMet and Transport but NOT
+// Checkpoint — error-enum-coverage must flag the gap at the definition.
+
+use fl::error::FlError;
+
+pub fn report(e: FlError) -> String {
+    match e {
+        FlError::QuorumNotMet { round } => format!("round {round}: quorum not met"),
+        FlError::Transport(m) => format!("transport: {m}"),
+        other => format!("unclassified: {other:?}"),
+    }
+}

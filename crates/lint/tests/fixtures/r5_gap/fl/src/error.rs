@@ -1,0 +1,7 @@
+// Fixture: the error enum under coverage.
+
+pub enum FlError {
+    QuorumNotMet { round: usize },
+    Transport(String),
+    Checkpoint(String),
+}

@@ -1,0 +1,15 @@
+// Fixture: production sites for the enum's variants.
+
+use crate::error::FlError;
+
+pub fn fail_quorum(round: usize) -> FlError {
+    FlError::QuorumNotMet { round }
+}
+
+pub fn fail_transport(m: String) -> FlError {
+    FlError::Transport(m)
+}
+
+pub fn fail_checkpoint(m: String) -> FlError {
+    FlError::Checkpoint(m)
+}

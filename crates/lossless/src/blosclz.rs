@@ -86,15 +86,17 @@ fn lz_encode(data: &[u8]) -> Vec<u8> {
 
 /// Byte-aligned LZ decode.
 fn lz_decode(data: &[u8], orig_len: usize) -> Result<Vec<u8>, CodecError> {
-    let mut out = Vec::with_capacity(orig_len);
+    // The capacity is a hint: a hostile `orig_len` must not force a huge
+    // up-front allocation, so cap it by a generous multiple of the input.
+    let mut out = Vec::with_capacity(orig_len.min(data.len().saturating_mul(256)));
     let mut pos = 0usize;
     while out.len() < orig_len {
         let tag = *data.get(pos).ok_or(CodecError::UnexpectedEof)?;
         pos += 1;
         let lc = tag >> 5;
         if lc == 0 {
-            let run = (tag & 0x1F) as usize + 1;
-            let end = pos + run;
+            let run = ((tag & 0x1F) as usize).saturating_add(1);
+            let end = pos.checked_add(run).ok_or(CodecError::UnexpectedEof)?;
             let chunk = data.get(pos..end).ok_or(CodecError::UnexpectedEof)?;
             out.extend_from_slice(chunk);
             pos = end;
@@ -104,11 +106,12 @@ fn lz_decode(data: &[u8], orig_len: usize) -> Result<Vec<u8>, CodecError> {
             pos += 1;
             let dist = (hi << 8 | lo) + 1;
             let len = if lc < 7 {
-                lc as usize + 3
+                (lc as usize).saturating_add(3)
             } else {
-                10 + varint::read_usize(data, &mut pos)?
+                varint::read_usize(data, &mut pos)?.saturating_add(10)
             };
-            if dist > out.len() || out.len() + len > orig_len {
+            let end = out.len().checked_add(len);
+            if dist > out.len() || end.is_none_or(|e| e > orig_len) {
                 return Err(CodecError::Corrupt("bad blosclz match"));
             }
             let start = out.len() - dist;

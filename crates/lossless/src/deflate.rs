@@ -115,7 +115,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
             tokens.push(Token::Match { len, dist });
         }
         // Defensive cap: a valid stream never has more tokens than bytes + 1.
-        if tokens.len() > orig_len + 1 {
+        if tokens.len() > orig_len.saturating_add(1) {
             return Err(CodecError::Corrupt("token stream longer than output"));
         }
     }

@@ -29,7 +29,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
         return Err(CodecError::UnexpectedEof);
     }
     let (payload, trailer) = body.split_at(body.len() - 4);
-    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let expected = match trailer {
+        &[a, b, c, d] => u32::from_le_bytes([a, b, c, d]),
+        _ => return Err(CodecError::UnexpectedEof),
+    };
     let out = deflate::decompress(payload)?;
     if crc32(&out) != expected {
         return Err(CodecError::Corrupt("gzip CRC mismatch"));

@@ -113,9 +113,19 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     }
     let mut dec = RangeDecoder::new(&data[pos..])?;
     let mut models = Models::new();
-    let mut out = Vec::with_capacity(orig_len);
+    // Capacity is a hint, not a trust decision: a hostile `orig_len` must
+    // not force a huge up-front allocation, so cap the hint by a generous
+    // multiple of the input size and let the Vec grow if a legitimate
+    // stream really expands further.
+    let mut out = Vec::with_capacity(orig_len.min(data.len().saturating_mul(256)));
     let mut prev_byte = 0u8;
     while out.len() < orig_len {
+        // The loop is driven by the attacker-controlled `orig_len`; the
+        // range coder synthesizes zero bytes past its input, so without
+        // this check a huge claimed length decodes "literals" forever.
+        if dec.exhausted() {
+            return Err(CodecError::UnexpectedEof);
+        }
         if dec.decode_bit(&mut models.is_match) == 0 {
             let ctx = ctx_of(prev_byte);
             let b = decode_tree(&mut dec, &mut models.literal[ctx], 8) as u8;
@@ -128,7 +138,8 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
             let ds = decode_tree(&mut dec, &mut models.dist_slot, SLOT_BITS);
             let dextra = dec.decode_direct(ds);
             let dist = (unslot(ds, dextra) + 1) as usize;
-            if dist > out.len() || out.len() + len > orig_len {
+            let end = out.len().checked_add(len);
+            if dist > out.len() || end.is_none_or(|e| e > orig_len) {
                 return Err(CodecError::Corrupt("bad xz match"));
             }
             let start = out.len() - dist;

@@ -238,7 +238,10 @@ impl StateDict {
             let data_bytes = take(bytes, &mut pos, nbytes)?;
             let data: Vec<f32> = data_bytes
                 .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .map(|c| match c {
+                    &[a, b, c, d] => f32::from_le_bytes([a, b, c, d]),
+                    _ => 0.0,
+                })
                 .collect();
             sd.try_insert(name, kind, Tensor::new(shape, data))
                 .map_err(|_| DecodeError::Corrupt("duplicate entry name"))?;
@@ -276,15 +279,17 @@ fn read_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, DecodeError> {
 }
 
 fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
-    let b = take(bytes, pos, 4)?;
-    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    match take(bytes, pos, 4)? {
+        &[a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+        _ => Err(DecodeError::Truncated),
+    }
 }
 
 fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
-    let b = take(bytes, pos, 8)?;
-    Ok(u64::from_le_bytes([
-        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-    ]))
+    match take(bytes, pos, 8)? {
+        &[a, b, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => Err(DecodeError::Truncated),
+    }
 }
 
 impl FromIterator<Entry> for StateDict {

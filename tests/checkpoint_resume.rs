@@ -265,3 +265,36 @@ fn resume_without_any_checkpoint_starts_from_round_zero() {
     assert_no_round_twice(&result, 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn two_identical_runs_serialize_to_identical_checkpoint_bytes() {
+    // The determinism audit in one assertion: run the same seeded config
+    // twice with parallel ingest, build a checkpoint from each result, and
+    // compare the encoded bytes. Any HashMap-ordered iteration, ambient
+    // randomness, or thread-arrival dependence anywhere in training,
+    // compression, aggregation, or serialization would make the streams
+    // diverge. Wall-clock timings are the one input that is nondeterministic
+    // by design, so they are masked to a fixed value before encoding.
+    let cfg = FlConfig {
+        ingest_workers: 4,
+        ..fl_cfg(4, 2)
+    };
+    let encode_masked = |result: &fedsz_fl::FlRunResult| {
+        let rounds: Vec<fedsz_fl::RoundMetrics> = result
+            .rounds
+            .iter()
+            .map(|r| fedsz_fl::RoundMetrics {
+                train_s_total: 0.0,
+                compress_s_total: 0.0,
+                decompress_s_total: 0.0,
+                ..*r
+            })
+            .collect();
+        fedsz_fl::checkpoint::Checkpoint::new(&cfg, result.final_model.clone(), &rounds).encode()
+    };
+    let a = fedsz_fl::run(&cfg).expect("first run");
+    let b = fedsz_fl::run(&cfg).expect("second run");
+    let (a_bytes, b_bytes) = (encode_masked(&a), encode_masked(&b));
+    assert_eq!(a_bytes.len(), b_bytes.len(), "checkpoint sizes diverged");
+    assert!(a_bytes == b_bytes, "checkpoint bytes diverged between runs");
+}

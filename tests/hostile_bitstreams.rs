@@ -287,6 +287,78 @@ fn a_directory_full_of_garbage_yields_none_not_a_panic() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// Pinned regressions: each of these inputs used to panic (debug overflow) or
+// decode without bound before the decoders were hardened. They must stay
+// quick, allocation-free errors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eblc_raw_mode_element_count_bombs_are_errors() {
+    // Every EBLC codec's RAW mode starts `[mode=0, varint(n), n f32s]`. A
+    // hostile `n` near usize::MAX used to overflow `n * 4` (a debug-build
+    // panic) or demand a bomb-sized allocation; now the claimed span is
+    // checked against the bytes actually present.
+    for bomb in [usize::MAX, usize::MAX / 4, u32::MAX as usize] {
+        let mut stream = vec![0u8]; // MODE_RAW in all four codecs
+        fedsz_entropy::varint::write_usize(&mut stream, bomb);
+        stream.extend_from_slice(&[0x41; 8]);
+        assert!(
+            fedsz_eblc::sz2::decompress(&stream).is_err(),
+            "sz2 n={bomb}"
+        );
+        assert!(
+            fedsz_eblc::sz3::decompress(&stream).is_err(),
+            "sz3 n={bomb}"
+        );
+        assert!(
+            fedsz_eblc::szx::decompress(&stream).is_err(),
+            "szx n={bomb}"
+        );
+        assert!(
+            fedsz_eblc::zfp::decompress(&stream).is_err(),
+            "zfp n={bomb}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_with_round_at_u64_max_is_rejected_not_overflowed() {
+    // `round` is attacker-writable and the decoder validates
+    // `n_rounds == round + 1`; with round = u64::MAX that successor used to
+    // overflow (a debug-build panic reachable from a CRC-valid file). Patch
+    // a valid checkpoint's round field and re-seal the CRC so only the
+    // overflow path is exercised.
+    let mut bytes = sample_checkpoint().encode();
+    bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+    let body_end = bytes.len() - 4;
+    let mut crc = fedsz_entropy::crc32::Crc32::new();
+    crc.update(&bytes[4..body_end]);
+    bytes[body_end..].copy_from_slice(&crc.finish().to_le_bytes());
+    assert!(
+        Checkpoint::decode(&bytes).is_err(),
+        "u64::MAX round accepted"
+    );
+}
+
+#[test]
+fn xz_claimed_length_bomb_terminates_with_an_error() {
+    // The xz loop is driven by the stream's own claimed output length, and
+    // the range coder synthesizes zeros past its input: a huge claimed
+    // length used to decode fabricated literals until memory ran out. The
+    // decoder must now notice the exhausted input and fail fast.
+    for bomb in [usize::MAX, 1usize << 40] {
+        let mut stream = Vec::new();
+        fedsz_entropy::varint::write_usize(&mut stream, bomb);
+        stream.push(4); // min_match
+        stream.extend_from_slice(&[0x5A; 24]); // "range coder" bytes
+        assert!(
+            fedsz_lossless::xz::decompress(&stream).is_err(),
+            "claimed len {bomb} decoded"
+        );
+    }
+}
+
 #[test]
 fn streamed_hostile_bytes_never_hang_the_frame_reader() {
     // Random bytes fed through the streaming reader (not just the in-memory
