@@ -36,7 +36,7 @@ fn bench_aggregation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fedavg_aggregate");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("4xMobileNetV2"), |b| {
-        b.iter(|| fedavg(&dicts));
+        b.iter(|| fedavg(&dicts).expect("aggregate"));
     });
     group.finish();
 }

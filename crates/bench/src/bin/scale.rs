@@ -1,0 +1,248 @@
+//! Cross-device scale benchmark for the streaming aggregator: can the
+//! server hold a 10 000-client round in O(model) memory?
+//!
+//! Two parts:
+//!
+//! * **fold** — streams `--folds` updates (default 10 000, cycled from a
+//!   small set of distinct source dicts) through one [`StreamingFedAvg`],
+//!   measuring resident-set growth. The seed implementation materialized
+//!   every update before averaging — O(clients × model) — so this is the
+//!   memory the streaming fold refuses to spend; the report includes what
+//!   materializing the same round would have buffered. A 128-update prefix
+//!   is cross-checked bit-for-bit against the materialized [`fedavg`].
+//! * **round** — a full loopback round over the channel transport with
+//!   `--population` registered clients (default 10 000) and a sampled
+//!   cohort of ~16, end to end through training, compression, ingest, and
+//!   the streaming aggregate.
+//!
+//! Results go to stdout and to `--out` (default `BENCH_scale.json`) as
+//! JSON, including the host's `available_parallelism` — wall times here are
+//! only comparable across hosts with that field in hand.
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin scale [--smoke]
+//!       [--folds N] [--population N] [--out BENCH_scale.json]`
+
+use std::time::Instant;
+
+use fedsz_bench::Args;
+use fedsz_fl::{fedavg, FlConfig, StreamingFedAvg, TransportConfig};
+use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
+
+/// `VmRSS` / `VmHWM` in kB from `/proc/self/status` (0 if unavailable).
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Deterministic client update: `params` normal weights plus a small bias.
+fn synth_update(params: usize, seed: u64) -> StateDict {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let bias_len = 16.min(params / 4).max(1);
+    let weight_len = params.saturating_sub(bias_len).max(1);
+    let w: Vec<f32> = (0..weight_len)
+        .map(|_| rng.normal_with(0.0, 0.05) as f32)
+        .collect();
+    let b: Vec<f32> = (0..bias_len)
+        .map(|_| rng.normal_with(0.0, 0.01) as f32)
+        .collect();
+    let mut sd = StateDict::new();
+    sd.insert("features.weight", TensorKind::Weight, Tensor::from_vec(w));
+    sd.insert("classifier.bias", TensorKind::Bias, Tensor::from_vec(b));
+    sd
+}
+
+struct FoldReport {
+    params: usize,
+    folds: usize,
+    distinct: usize,
+    accumulator_bytes: usize,
+    materialized_bytes: usize,
+    rss_before_kb: u64,
+    rss_after_kb: u64,
+    seconds: f64,
+}
+
+/// Stream `folds` updates through one accumulator; panics if the streamed
+/// aggregate of the 128-update prefix diverges from the materialized one.
+fn bench_fold(params: usize, folds: usize) -> FoldReport {
+    let distinct = 32.min(folds.max(1));
+    let sources: Vec<(StateDict, usize)> = (0..distinct)
+        .map(|i| (synth_update(params, i as u64), 10 + i))
+        .collect();
+
+    // Equivalence first, on a prefix small enough to materialize.
+    let prefix = 128.min(folds.max(1));
+    let materialized: Vec<(StateDict, usize)> =
+        (0..prefix).map(|i| sources[i % distinct].clone()).collect();
+    let mut check = StreamingFedAvg::new(&sources[0].0);
+    for (sd, n) in &materialized {
+        check.fold(sd, *n).expect("fold");
+    }
+    assert_eq!(
+        check.finish().expect("finish"),
+        fedavg(&materialized).expect("fedavg"),
+        "streaming diverged from materialized fedavg"
+    );
+    drop(materialized);
+
+    let rss_before_kb = proc_status_kb("VmRSS");
+    let t0 = Instant::now();
+    let mut agg = StreamingFedAvg::new(&sources[0].0);
+    for i in 0..folds {
+        let (sd, n) = &sources[i % distinct];
+        agg.fold(sd, *n).expect("fold");
+    }
+    assert_eq!(agg.folded(), folds);
+    let global = agg.finish().expect("finish");
+    let seconds = t0.elapsed().as_secs_f64();
+    let rss_after_kb = proc_status_kb("VmRSS");
+    assert!(global
+        .entries()
+        .iter()
+        .all(|e| e.tensor.data().iter().all(|v| v.is_finite())));
+
+    let model_bytes = global.nbytes();
+    FoldReport {
+        params,
+        folds,
+        distinct,
+        // 6 limbs of 8 bytes per element, plus the f32 prototype.
+        accumulator_bytes: global.num_params() * 48 + model_bytes,
+        materialized_bytes: folds * model_bytes,
+        rss_before_kb,
+        rss_after_kb,
+        seconds,
+    }
+}
+
+struct RoundReport {
+    population: usize,
+    cohort: usize,
+    rounds: usize,
+    accuracy: f64,
+    seconds: f64,
+    rss_before_kb: u64,
+    rss_after_kb: u64,
+}
+
+/// One sampled loopback round: `population` registered client threads on
+/// the channel transport, a ~16-client cohort training for real.
+fn bench_round(population: usize) -> RoundReport {
+    let sample_fraction = 16.0 / population as f64;
+    let cfg = FlConfig {
+        dataset: fedsz_dnn::DatasetKind::FashionMnistLike,
+        n_clients: 4,
+        population,
+        sample_fraction,
+        rounds: 1,
+        samples_per_client: 2,
+        test_samples: 16,
+        batch_size: 2,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        seed: 42,
+        ..FlConfig::default()
+    };
+    let cohort = cfg.cohort_size();
+    let rss_before_kb = proc_status_kb("VmRSS");
+    let t0 = Instant::now();
+    let result =
+        fedsz_fl::run_threaded_with(&cfg, &TransportConfig::default()).expect("scale round");
+    let seconds = t0.elapsed().as_secs_f64();
+    let rss_after_kb = proc_status_kb("VmRSS");
+    assert_eq!(result.rounds.len(), 1);
+    assert_eq!(result.rounds[0].faults.delivered, cohort);
+    RoundReport {
+        population,
+        cohort,
+        rounds: 1,
+        accuracy: result.final_accuracy(),
+        seconds,
+        rss_before_kb,
+        rss_after_kb,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("--smoke");
+    let folds: usize = args.value("--folds", if smoke { 1_000 } else { 10_000 });
+    let params: usize = args.value("--params", if smoke { 16_384 } else { 65_536 });
+    let population: usize = args.value("--population", if smoke { 1_000 } else { 10_000 });
+    let out: String = args.value("--out", "BENCH_scale.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("# streaming-aggregator scale benchmark ({cores} cores available)");
+
+    let fold = bench_fold(params, folds);
+    let saved = fold
+        .materialized_bytes
+        .saturating_sub(fold.accumulator_bytes);
+    println!(
+        "fold: {} updates x {} params in {:.2}s; accumulator {:.1} kB vs {:.1} MB materialized \
+         (saves {:.1} MB); rss {} -> {} kB",
+        fold.folds,
+        fold.params,
+        fold.seconds,
+        fold.accumulator_bytes as f64 / 1e3,
+        fold.materialized_bytes as f64 / 1e6,
+        saved as f64 / 1e6,
+        fold.rss_before_kb,
+        fold.rss_after_kb,
+    );
+    // The whole point: resident growth across the fold stays a small
+    // multiple of the accumulator, nowhere near the materialized buffer.
+    let grown = fold.rss_after_kb.saturating_sub(fold.rss_before_kb) * 1024;
+    assert!(
+        grown < fold.accumulator_bytes as u64 * 4 + (1 << 22),
+        "fold grew RSS by {grown} B — not O(model)"
+    );
+
+    let round = bench_round(population);
+    println!(
+        "round: cohort {} of {} registered clients in {:.2}s, accuracy {:.3}; rss {} -> {} kB \
+         (vm_hwm {} kB)",
+        round.cohort,
+        round.population,
+        round.seconds,
+        round.accuracy,
+        round.rss_before_kb,
+        round.rss_after_kb,
+        proc_status_kb("VmHWM"),
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"scale\",\n  \"available_parallelism\": {cores},\n  \"smoke\": {smoke},\n\
+         \n  \"fold\": {{\n    \"folds\": {}, \"params\": {}, \"distinct_updates\": {},\n    \
+         \"accumulator_bytes\": {}, \"materialized_bytes\": {},\n    \
+         \"rss_before_kb\": {}, \"rss_after_kb\": {}, \"seconds\": {:.4},\n    \
+         \"matches_materialized_fedavg\": true\n  }},\n\
+         \n  \"round\": {{\n    \"population\": {}, \"cohort\": {}, \"rounds\": {},\n    \
+         \"accuracy\": {:.6}, \"seconds\": {:.4},\n    \
+         \"rss_before_kb\": {}, \"rss_after_kb\": {}, \"vm_hwm_kb\": {}\n  }}\n}}\n",
+        fold.folds,
+        fold.params,
+        fold.distinct,
+        fold.accumulator_bytes,
+        fold.materialized_bytes,
+        fold.rss_before_kb,
+        fold.rss_after_kb,
+        fold.seconds,
+        round.population,
+        round.cohort,
+        round.rounds,
+        round.accuracy,
+        round.seconds,
+        round.rss_before_kb,
+        round.rss_after_kb,
+        proc_status_kb("VmHWM"),
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("\nwrote {out}");
+}

@@ -74,6 +74,7 @@ fn classify_fl(e: FlError) -> CliError {
         | FlError::ServerKilled { .. }) => CliError::Run(e.to_string()),
         FlError::Transport(m) => CliError::Run(format!("transport error: {m}")),
         FlError::Checkpoint(m) => CliError::Run(format!("checkpoint error: {m}")),
+        FlError::Aggregate(m) => CliError::Run(format!("aggregation failed: {m}")),
     }
 }
 
@@ -280,6 +281,13 @@ pub struct FlOpts {
     pub rounds: usize,
     /// Number of clients.
     pub clients: usize,
+    /// Registered client population for cross-device sampling; 0 (the
+    /// default) keeps the cross-silo behaviour where `clients` clients all
+    /// participate every round.
+    pub population: usize,
+    /// Fraction of the registered population sampled per round (at least
+    /// one client is always selected). 1.0 selects everyone.
+    pub sample_fraction: f64,
     /// Training samples per client.
     pub samples: usize,
     /// FedSZ relative error bound; `None` = uncompressed updates.
@@ -326,6 +334,8 @@ impl Default for FlOpts {
         Self {
             rounds: 5,
             clients: 4,
+            population: 0,
+            sample_fraction: 1.0,
             samples: 96,
             rel: Some(1e-2),
             transport: FlTransport::InProcess,
@@ -362,6 +372,29 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         return Err(CliError::Usage(format!(
             "--min-quorum {} exceeds --clients {}",
             opts.min_quorum, opts.clients
+        )));
+    }
+    if opts.population != 0 && opts.population < opts.clients {
+        return Err(CliError::Usage(format!(
+            "--population {} is smaller than --clients {} (omit --population for cross-silo)",
+            opts.population, opts.clients
+        )));
+    }
+    if !(opts.sample_fraction.is_finite()
+        && opts.sample_fraction > 0.0
+        && opts.sample_fraction <= 1.0)
+    {
+        return Err(CliError::Usage(format!(
+            "--sample-fraction must be in (0, 1], got {}",
+            opts.sample_fraction
+        )));
+    }
+    let cohort =
+        fedsz_fl::sampling::cohort_size(opts.population.max(opts.clients), opts.sample_fraction);
+    if opts.min_quorum > cohort {
+        return Err(CliError::Usage(format!(
+            "--min-quorum {} exceeds the per-round cohort of {cohort} clients",
+            opts.min_quorum
         )));
     }
     if let Some(rel) = opts.rel {
@@ -417,6 +450,8 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let cfg = FlConfig {
         rounds: opts.rounds,
         n_clients: opts.clients,
+        population: opts.population,
+        sample_fraction: opts.sample_fraction,
         samples_per_client: opts.samples,
         compression: opts.rel.map(|rel| fedsz::FedSzConfig {
             threshold: fedsz_fl::SMALL_MODEL_THRESHOLD,
@@ -468,9 +503,12 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} transport, {} clients x {} samples, {} rounds, {}, ingest: {}",
+        "{} transport, {} x {} samples, {} rounds, {}, ingest: {}",
         opts.transport.name(),
-        opts.clients,
+        match opts.population {
+            0 => format!("{} clients", opts.clients),
+            pop => format!("cohort {cohort} of {pop} registered clients"),
+        },
         opts.samples,
         opts.rounds,
         match opts.rel {
@@ -719,6 +757,57 @@ mod tests {
             }),
             Err(CliError::Usage(_))
         ));
+        // A population smaller than the client count is contradictory.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                clients: 4,
+                population: 2,
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        // The sample fraction must be a finite value in (0, 1].
+        for bad in [0.0, -0.25, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    cmd_fl(&FlOpts {
+                        sample_fraction: bad,
+                        ..FlOpts::default()
+                    }),
+                    Err(CliError::Usage(_))
+                ),
+                "--sample-fraction {bad} accepted"
+            );
+        }
+        // Quorum is checked against the sampled cohort, not the population.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                clients: 4,
+                population: 100,
+                sample_fraction: 0.02, // cohort of 2
+                min_quorum: 3,
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fl_subcommand_reports_sampled_cohorts() {
+        let opts = FlOpts {
+            rounds: 1,
+            clients: 2,
+            samples: 32,
+            population: 8,
+            sample_fraction: 0.25, // cohort of 2 from 8 registered
+            ..FlOpts::default()
+        };
+        let report = cmd_fl(&opts).unwrap();
+        assert!(
+            report.contains("cohort 2 of 8 registered clients"),
+            "{report}"
+        );
+        assert!(report.contains("final accuracy"), "{report}");
     }
 
     #[test]

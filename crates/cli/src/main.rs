@@ -8,6 +8,7 @@
 //! fedsz-tool inspect    --in update.fsz [--threshold 2048]
 //! fedsz-tool verify     --reference model.fsd --in restored.fsd
 //! fedsz-tool fl         [--rounds N] [--clients N] [--samples N] [--rel 1e-2 | --uncompressed]
+//!                       [--population P] [--sample-fraction F]
 //!                       [--transport in-process|threaded|tcp] [--deadline-ms D] [--min-quorum Q]
 //!                       [--retries R] [--seed S] [--idle-timeout-ms I]
 //!                       [--listen HOST:PORT | --connect HOST:PORT --client-id N]
@@ -116,6 +117,8 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
             let fl = FlOpts {
                 rounds: opts.parsed_or("--rounds", defaults.rounds)?,
                 clients: opts.parsed_or("--clients", defaults.clients)?,
+                population: opts.parsed_or("--population", defaults.population)?,
+                sample_fraction: opts.parsed_or("--sample-fraction", defaults.sample_fraction)?,
                 samples: opts.parsed_or("--samples", defaults.samples)?,
                 rel,
                 transport,

@@ -1,45 +1,335 @@
-//! FedAvg aggregation (McMahan et al. 2017): the sample-weighted average of
-//! client state dictionaries.
+//! FedAvg aggregation (McMahan et al. 2017) as a streaming, O(model),
+//! *exactly order-independent* weighted fold.
+//!
+//! # Why a fixed-point superaccumulator
+//!
+//! The seed implementation materialized every accepted update into a
+//! `Vec<(StateDict, usize)>` — O(clients × model) server memory — and
+//! averaged with `f32` arithmetic in client order, which (a) blocks
+//! cross-device scale, (b) silently loses weight precision once the total
+//! sample count exceeds 2^24, and (c) `assert_eq!`-panicked on structure
+//! mismatches inside a Rayon worker, aborting the whole server.
+//!
+//! [`StreamingFedAvg`] replaces all of that. Each accepted update is folded
+//! into a running per-element accumulator and dropped, so server memory for
+//! the aggregate is O(model) regardless of cohort size. The accumulator is
+//! a Kulisch-style fixed-point superaccumulator: every `f32` is the exact
+//! integer ±m·2^e (m < 2^24), so the weighted contribution `samples · m`
+//! (≤ 2^56, since [`MAX_SAMPLES`] = 2^32) is added *exactly* into a 384-bit
+//! two's-complement integer scaled by 2^149. Integer addition commutes, so
+//! the final sum — and therefore the aggregate — is a pure function of the
+//! *multiset* of `(update, samples)` pairs:
+//!
+//! * folds may settle in any arrival order (streaming ≡ materialized,
+//!   bit for bit),
+//! * any worker count, transport, or client interleaving produces the
+//!   identical global model,
+//! * no precision is lost at any cohort size or sample count: the per
+//!   element result is `f32(f64(Σ nᵢ·xᵢ) / f64(Σ nᵢ))` with the sum
+//!   *exact* and the `f64` readout correctly rounded.
+//!
+//! ## Headroom proof
+//!
+//! Stored value = Σ nᵢ·xᵢ scaled by 2^149 (the smallest subnormal `f32` is
+//! 2^-149, so the scaled values are integers). One contribution is
+//! `n·m·2^(e+149)` with `n ≤ 2^32`, `m < 2^24`, `e + 149 ∈ [0, 253]`, so
+//! its magnitude is below 2^(56+254) = 2^310. The total weight is tracked
+//! in a checked `u64` and every fold adds at least 1, so at most 2^64
+//! contributions can ever fold before the total errors out; the
+//! accumulated magnitude therefore stays below 2^(310+64) = 2^374, inside
+//! the 384-bit window (sign bit at 2^383) with 9 bits to spare. No
+//! intermediate can overflow.
 
 use fedsz_tensor::StateDict;
-use rayon::prelude::*;
 
-/// Weighted average of client updates; weights are client sample counts.
+use crate::error::FlError;
+use crate::validate::MAX_SAMPLES;
+
+// The exact-product bound above needs `samples · mantissa` to fit in a
+// `u64`: samples ≤ 2^32 (validate.rs) times m < 2^24 is < 2^56.
+const _: () = assert!(MAX_SAMPLES <= 1 << 32);
+
+/// Limbs per element: 384 bits spanning scaled bit positions [0, 384),
+/// i.e. value magnitudes up to 2^235 with the 2^-149 scale factor.
+const LIMBS: usize = 6;
+
+/// Streaming sample-weighted FedAvg accumulator.
+///
+/// Fold each accepted client update with [`fold`](Self::fold) (in *any*
+/// order — the result is exactly order-independent), then take the
+/// aggregate with [`finish`](Self::finish). Memory is O(model): 48 bytes
+/// per model parameter, independent of how many updates fold.
 ///
 /// Every entry is averaged, including batch-norm running statistics and
 /// counters — matching APPFL's server-side handling of full state dicts.
-///
-/// Entries reduce in parallel, but within each entry the updates are
-/// accumulated element-wise in client order — the same floating-point
-/// operations in the same order as the sequential `axpy` loop — so the
-/// aggregate is bit-identical however many Rayon threads run it.
-///
-/// # Panics
-/// Panics on an empty update set, zero total weight, or mismatched
-/// structures.
-pub fn fedavg(updates: &[(StateDict, usize)]) -> StateDict {
-    assert!(!updates.is_empty(), "fedavg needs at least one update");
-    let total: usize = updates.iter().map(|(_, n)| n).sum();
-    assert!(total > 0, "fedavg needs a positive total sample count");
-    for (sd, _) in updates {
-        assert_eq!(
-            sd.len(),
-            updates[0].0.len(),
-            "state-dict structure mismatch"
-        );
+pub struct StreamingFedAvg {
+    /// Zeroed clone of the reference model; defines the expected
+    /// structure and receives the averaged values in `finish`.
+    proto: StateDict,
+    /// Per entry: `numel × LIMBS` little-endian limbs of 384-bit
+    /// two's-complement element accumulators.
+    limbs: Vec<Vec<u64>>,
+    /// Σ samples over folded updates (checked).
+    total: u64,
+    /// Number of updates folded so far.
+    folded: usize,
+}
+
+impl StreamingFedAvg {
+    /// Empty accumulator expecting updates shaped like `reference`.
+    pub fn new(reference: &StateDict) -> Self {
+        Self {
+            proto: reference.zeros_like(),
+            limbs: reference
+                .entries()
+                .iter()
+                .map(|e| vec![0u64; e.tensor.numel() * LIMBS])
+                .collect(),
+            total: 0,
+            folded: 0,
+        }
     }
-    let mut acc = updates[0].0.zeros_like();
-    acc.entries_mut()
-        .par_iter_mut()
-        .enumerate()
-        .for_each(|(i, e)| {
-            for (sd, n) in updates {
-                let src = &sd.entries()[i];
-                assert_eq!(e.name, src.name, "state-dict entry order mismatch");
-                e.tensor.axpy(*n as f32 / total as f32, &src.tensor);
+
+    /// Number of updates folded so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Σ samples over the folded updates.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Fold one client update, weighted by its sample count, and return —
+    /// the caller can drop `update` immediately afterwards.
+    ///
+    /// Refuses (typed, never panics): sample counts outside
+    /// `(0, MAX_SAMPLES]`, structure mismatches against the reference,
+    /// non-finite values, and total-weight overflow. A refused update
+    /// leaves the accumulator exactly as it was.
+    pub fn fold(&mut self, update: &StateDict, samples: usize) -> Result<(), FlError> {
+        if samples == 0 || samples > MAX_SAMPLES {
+            return Err(FlError::Aggregate(format!(
+                "update weight {samples} outside (0, {MAX_SAMPLES}]"
+            )));
+        }
+        if update.len() != self.proto.len() {
+            return Err(FlError::Aggregate(format!(
+                "update has {} entries, reference has {}",
+                update.len(),
+                self.proto.len()
+            )));
+        }
+        for (u, r) in update.entries().iter().zip(self.proto.entries()) {
+            if u.name != r.name || u.kind != r.kind || u.tensor.shape() != r.tensor.shape() {
+                return Err(FlError::Aggregate(format!(
+                    "entry '{}' does not match reference entry '{}'",
+                    u.name, r.name
+                )));
             }
-        });
-    acc
+            if !u.tensor.data().iter().all(|v| v.is_finite()) {
+                return Err(FlError::Aggregate(format!(
+                    "non-finite value in entry '{}'",
+                    u.name
+                )));
+            }
+        }
+        let total = self
+            .total
+            .checked_add(samples as u64)
+            .ok_or_else(|| FlError::Aggregate("total sample count overflows u64".into()))?;
+
+        // All checks passed: from here the fold must complete so the
+        // accumulator never holds a half-applied update.
+        let weight = samples as u64;
+        for (acc, entry) in self.limbs.iter_mut().zip(update.entries()) {
+            for (limbs, &x) in acc.chunks_mut(LIMBS).zip(entry.tensor.data()) {
+                accumulate(limbs, x, weight);
+            }
+        }
+        self.total = total;
+        self.folded += 1;
+        Ok(())
+    }
+
+    /// The weighted average of every folded update, bit-identical for any
+    /// fold order. Fails (typed) only when nothing was folded.
+    pub fn finish(mut self) -> Result<StateDict, FlError> {
+        if self.folded == 0 {
+            return Err(FlError::Aggregate(
+                "no updates folded: nothing to average".into(),
+            ));
+        }
+        let total = self.total as f64;
+        for (acc, entry) in self.limbs.iter().zip(self.proto.entries_mut()) {
+            for (limbs, out) in acc.chunks(LIMBS).zip(entry.tensor.data_mut()) {
+                *out = (readout(limbs) / total) as f32;
+            }
+        }
+        Ok(self.proto)
+    }
+}
+
+/// Weighted average of client updates; weights are client sample counts.
+///
+/// The materialized counterpart of [`StreamingFedAvg`] — it folds the
+/// slice through the same accumulator, so `fedavg(&updates)` is
+/// bit-identical to streaming the same updates in any order. Kept for
+/// callers that already hold every update (benches, property tests,
+/// equivalence suites).
+///
+/// # Errors
+/// [`FlError::Aggregate`] on an empty update set, a zero or oversized
+/// sample count, mismatched structures, non-finite values, or total-weight
+/// overflow — the typed replacement for the seed implementation's panics.
+pub fn fedavg(updates: &[(StateDict, usize)]) -> Result<StateDict, FlError> {
+    let Some((first, _)) = updates.first() else {
+        return Err(FlError::Aggregate(
+            "empty update set: nothing to average".into(),
+        ));
+    };
+    let mut acc = StreamingFedAvg::new(first);
+    for (sd, samples) in updates {
+        acc.fold(sd, *samples)?;
+    }
+    acc.finish()
+}
+
+/// Add `weight · x` exactly into a 384-bit two's-complement accumulator
+/// (little-endian limbs, scaled by 2^149).
+fn accumulate(limbs: &mut [u64], x: f32, weight: u64) {
+    let bits = x.to_bits();
+    let biased = (bits >> 23) & 0xFF;
+    let frac = (bits & 0x7F_FFFF) as u64;
+    // Finiteness was checked at fold entry; zero contributes nothing.
+    let (mantissa, shift) = if biased == 0 {
+        (frac, 0u32) // subnormal: value = frac · 2^-149, scaled exponent 0
+    } else {
+        (frac | (1 << 23), biased - 1) // normal: frac·2^(e-23), e = biased-127
+    };
+    if mantissa == 0 {
+        return; // ±0.0
+    }
+    // mantissa < 2^24 and weight ≤ 2^32, so the product is exact in u64.
+    let scaled = mantissa * weight;
+    if bits >> 31 == 0 {
+        add_mag(limbs, shift, scaled);
+    } else {
+        sub_mag(limbs, shift, scaled);
+    }
+}
+
+/// `limbs += m · 2^shift` (wrapping two's-complement over 384 bits; the
+/// headroom proof in the module docs rules out overflow past the top).
+fn add_mag(limbs: &mut [u64], shift: u32, m: u64) {
+    let idx = (shift / 64) as usize;
+    let bit = shift % 64;
+    let wide = (m as u128) << bit;
+    let (low, overflow) = limbs[idx].overflowing_add(wide as u64);
+    limbs[idx] = low;
+    let mut carry = (wide >> 64) as u64 + overflow as u64;
+    for limb in limbs.iter_mut().skip(idx + 1) {
+        if carry == 0 {
+            return;
+        }
+        let (v, c) = limb.overflowing_add(carry);
+        *limb = v;
+        carry = c as u64;
+    }
+}
+
+/// `limbs -= m · 2^shift` (wrapping two's-complement over 384 bits).
+fn sub_mag(limbs: &mut [u64], shift: u32, m: u64) {
+    let idx = (shift / 64) as usize;
+    let bit = shift % 64;
+    let wide = (m as u128) << bit;
+    let (low, underflow) = limbs[idx].overflowing_sub(wide as u64);
+    limbs[idx] = low;
+    let mut borrow = (wide >> 64) as u64 + underflow as u64;
+    for limb in limbs.iter_mut().skip(idx + 1) {
+        if borrow == 0 {
+            return;
+        }
+        let (v, b) = limb.overflowing_sub(borrow);
+        *limb = v;
+        borrow = b as u64;
+    }
+}
+
+/// Exact signed value of the accumulator as a correctly-rounded `f64`
+/// (round to nearest, ties to even), including the 2^-149 scale.
+fn readout(limbs: &[u64]) -> f64 {
+    let negative = limbs[LIMBS - 1] >> 63 == 1;
+    let mut mag = [0u64; LIMBS];
+    if negative {
+        // Two's-complement negate: invert and add one.
+        let mut carry = 1u64;
+        for (dst, &src) in mag.iter_mut().zip(limbs) {
+            let (v, c) = (!src).overflowing_add(carry);
+            *dst = v;
+            carry = c as u64;
+        }
+    } else {
+        mag.copy_from_slice(limbs);
+    }
+    let Some(top) = (0..LIMBS).rev().find(|&k| mag[k] != 0) else {
+        return 0.0;
+    };
+    let high_bit = top * 64 + 63 - mag[top].leading_zeros() as usize;
+    let (mantissa, exp) = if high_bit <= 52 {
+        (mag[0], -149i32) // ≤ 53 significant bits: exact as-is
+    } else {
+        let shift = high_bit - 52;
+        let mut m = extract_53(&mag, shift);
+        let round = bit_at(&mag, shift - 1);
+        let sticky = any_bits_below(&mag, shift - 1);
+        if round && (sticky || m & 1 == 1) {
+            m += 1;
+        }
+        let mut e = shift as i32 - 149;
+        if m == 1 << 53 {
+            m >>= 1;
+            e += 1;
+        }
+        (m, e)
+    };
+    // `mantissa` has ≤ 53 bits and the exponent stays in the normal f64
+    // range (≤ 2^374 scaled by 2^-149 is far below f64::MAX), so this
+    // product is exact.
+    let value = mantissa as f64 * pow2(exp);
+    if negative {
+        -value
+    } else {
+        value
+    }
+}
+
+/// Bits `[lo, lo + 53)` of the magnitude as a `u64`.
+fn extract_53(mag: &[u64; LIMBS], lo: usize) -> u64 {
+    let idx = lo / 64;
+    let off = lo % 64;
+    let mut v = mag[idx] >> off;
+    if off != 0 && idx + 1 < LIMBS {
+        v |= mag[idx + 1] << (64 - off);
+    }
+    v & ((1u64 << 53) - 1)
+}
+
+/// Bit `i` of the magnitude.
+fn bit_at(mag: &[u64; LIMBS], i: usize) -> bool {
+    (mag[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Is any bit strictly below position `i` set?
+fn any_bits_below(mag: &[u64; LIMBS], i: usize) -> bool {
+    let idx = i / 64;
+    let off = i % 64;
+    mag.iter().take(idx).any(|&l| l != 0) || (off > 0 && mag[idx] & ((1u64 << off) - 1) != 0)
+}
+
+/// 2^e as an `f64`, for exponents in the normal range.
+fn pow2(e: i32) -> f64 {
+    f64::from_bits(((e + 1023) as u64) << 52)
 }
 
 #[cfg(test)]
@@ -54,34 +344,215 @@ mod tests {
         sd
     }
 
+    /// Like `dict` but with `v` in every element — `dict`'s doubled bias
+    /// overflows to infinity for `v` near `f32::MAX`.
+    fn flat(v: f32) -> StateDict {
+        let mut sd = StateDict::new();
+        sd.insert("w.weight", TensorKind::Weight, Tensor::from_vec(vec![v; 4]));
+        sd.insert("w.bias", TensorKind::Bias, Tensor::from_vec(vec![v]));
+        sd
+    }
+
     #[test]
     fn equal_weights_average() {
-        let agg = fedavg(&[(dict(1.0), 10), (dict(3.0), 10)]);
+        let agg = fedavg(&[(dict(1.0), 10), (dict(3.0), 10)]).expect("aggregate");
         assert_eq!(agg.get("w.weight").unwrap().data(), &[2.0; 4]);
         assert_eq!(agg.get("w.bias").unwrap().data(), &[4.0]);
     }
 
     #[test]
     fn sample_counts_weight_the_mean() {
-        let agg = fedavg(&[(dict(0.0), 30), (dict(4.0), 10)]);
+        let agg = fedavg(&[(dict(0.0), 30), (dict(4.0), 10)]).expect("aggregate");
         assert_eq!(agg.get("w.weight").unwrap().data(), &[1.0; 4]);
     }
 
     #[test]
     fn single_client_is_identity() {
-        let agg = fedavg(&[(dict(7.0), 5)]);
+        let agg = fedavg(&[(dict(7.0), 5)]).expect("aggregate");
         assert_eq!(agg, dict(7.0));
+        // Identity holds at the extreme weights too: the f64 readout has 29
+        // guard bits over f32, so n·x/n rounds back to x exactly.
+        let agg = fedavg(&[(dict(-3.625), MAX_SAMPLES)]).expect("aggregate");
+        assert_eq!(agg, dict(-3.625));
+        let odd = MAX_SAMPLES - 1; // odd weight: n·m needs the full 56 bits
+        let agg = fedavg(&[(flat(f32::MAX), odd)]).expect("aggregate");
+        assert_eq!(agg, flat(f32::MAX));
     }
 
     #[test]
-    #[should_panic(expected = "at least one update")]
-    fn empty_rejected() {
-        fedavg(&[]);
+    fn subnormals_survive_exactly() {
+        let tiny = f32::from_bits(1); // 2^-149, the smallest subnormal
+        let agg = fedavg(&[(dict(tiny), 3)]).expect("aggregate");
+        assert_eq!(agg, dict(tiny));
+        // Perfect cancellation of opposite subnormals is exact.
+        let agg = fedavg(&[(dict(tiny), 7), (dict(-tiny), 7)]).expect("aggregate");
+        assert_eq!(agg.get("w.weight").unwrap().data(), &[0.0; 4]);
     }
 
     #[test]
-    #[should_panic(expected = "positive total")]
-    fn zero_weight_rejected() {
-        fedavg(&[(dict(1.0), 0)]);
+    fn opposite_values_cancel_exactly() {
+        let agg = fedavg(&[(dict(1.0e30), 13), (dict(-1.0e30), 13)]).expect("aggregate");
+        assert_eq!(agg.get("w.weight").unwrap().data(), &[0.0; 4]);
+        assert_eq!(agg.get("w.bias").unwrap().data(), &[0.0]);
+    }
+
+    #[test]
+    fn streaming_fold_is_order_independent_and_matches_fedavg() {
+        let updates: Vec<(StateDict, usize)> = [0.3f32, -1.7, 9.25, 1e-8, -4.5e6]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (dict(v), 3 * i + 1))
+            .collect();
+        let materialized = fedavg(&updates).expect("aggregate");
+
+        // Forward fold.
+        let mut fwd = StreamingFedAvg::new(&updates[0].0);
+        for (sd, n) in &updates {
+            fwd.fold(sd, *n).expect("fold");
+        }
+        assert_eq!(fwd.folded(), updates.len());
+        assert_eq!(fwd.finish().expect("finish"), materialized);
+
+        // Reverse fold: bit-identical, not merely close.
+        let mut rev = StreamingFedAvg::new(&updates[0].0);
+        for (sd, n) in updates.iter().rev() {
+            rev.fold(sd, *n).expect("fold");
+        }
+        assert_eq!(rev.finish().expect("finish"), materialized);
+    }
+
+    #[test]
+    fn weights_stay_exact_beyond_two_pow_24_total_samples() {
+        // The seed computed weights as `n as f32 / total as f32`. With
+        // total = 2^24 + 1 that rounds to 2^24, making client 0's weight
+        // exactly 1.0 and erasing client 1 entirely. The exact accumulator
+        // must produce 2^24/(2^24+1), which is strictly below 1.
+        let n0 = 1usize << 24;
+        let agg = fedavg(&[(dict(1.0), n0), (dict(0.0), 1)]).expect("aggregate");
+        let got = agg.get("w.weight").unwrap().data()[0];
+        let expected = (n0 as f64 / (n0 as f64 + 1.0)) as f32;
+        assert_eq!(got, expected);
+        assert!(got < 1.0, "client 1's weight was lost: {got}");
+
+        // And far beyond: two maximal-weight clients average exactly.
+        let agg = fedavg(&[(dict(1.0), MAX_SAMPLES), (dict(3.0), MAX_SAMPLES)]).expect("aggregate");
+        assert_eq!(agg.get("w.weight").unwrap().data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn empty_update_set_is_a_typed_error() {
+        let Err(FlError::Aggregate(msg)) = fedavg(&[]) else {
+            panic!("empty set must be FlError::Aggregate");
+        };
+        assert!(msg.contains("empty"), "{msg}");
+    }
+
+    #[test]
+    fn hostile_sample_counts_are_typed_errors() {
+        assert!(matches!(
+            fedavg(&[(dict(1.0), 0)]),
+            Err(FlError::Aggregate(_))
+        ));
+        assert!(matches!(
+            fedavg(&[(dict(1.0), MAX_SAMPLES + 1)]),
+            Err(FlError::Aggregate(_))
+        ));
+        assert!(matches!(
+            fedavg(&[(dict(1.0), usize::MAX)]),
+            Err(FlError::Aggregate(_))
+        ));
+    }
+
+    #[test]
+    fn structure_mismatch_is_a_typed_error_not_a_panic() {
+        // The seed's assert_eq! fired inside a Rayon worker here.
+        let mut other = StateDict::new();
+        other.insert("w.weight", TensorKind::Weight, Tensor::from_vec(vec![1.0]));
+        assert!(matches!(
+            fedavg(&[(dict(1.0), 4), (other.clone(), 4)]),
+            Err(FlError::Aggregate(_))
+        ));
+
+        // Same entry count, different name.
+        let mut renamed = dict(1.0);
+        renamed.entries_mut()[1].name = "w.evil".into();
+        assert!(matches!(
+            fedavg(&[(dict(1.0), 4), (renamed, 4)]),
+            Err(FlError::Aggregate(_))
+        ));
+
+        // Same names, different shape.
+        let mut reshaped = dict(1.0);
+        reshaped.entries_mut()[0].tensor = Tensor::new(vec![2, 2], vec![1.0; 4]);
+        assert!(matches!(
+            fedavg(&[(dict(1.0), 4), (reshaped, 4)]),
+            Err(FlError::Aggregate(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_values_are_typed_errors() {
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut sd = dict(1.0);
+            sd.entries_mut()[0].tensor.data_mut()[2] = poison;
+            assert!(
+                matches!(fedavg(&[(sd, 4)]), Err(FlError::Aggregate(_))),
+                "{poison} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn refused_fold_leaves_the_accumulator_untouched() {
+        let mut acc = StreamingFedAvg::new(&dict(0.0));
+        acc.fold(&dict(2.0), 8).expect("fold");
+        let mut poisoned = dict(5.0);
+        poisoned.entries_mut()[0].tensor.data_mut()[0] = f32::NAN;
+        assert!(acc.fold(&poisoned, 8).is_err());
+        assert_eq!(acc.folded(), 1);
+        assert_eq!(acc.total_samples(), 8);
+        assert_eq!(acc.finish().expect("finish"), dict(2.0));
+    }
+
+    #[test]
+    fn finish_without_folds_is_a_typed_error() {
+        let acc = StreamingFedAvg::new(&dict(0.0));
+        assert!(matches!(acc.finish(), Err(FlError::Aggregate(_))));
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_overflow() {
+        // Maximal values at maximal weights, repeatedly: the headroom
+        // proof in action.
+        let updates: Vec<(StateDict, usize)> = (0..64)
+            .map(|i| {
+                (
+                    flat(if i % 2 == 0 { f32::MAX } else { f32::MIN }),
+                    MAX_SAMPLES,
+                )
+            })
+            .collect();
+        let agg = fedavg(&updates).expect("aggregate");
+        assert_eq!(agg.get("w.weight").unwrap().data(), &[0.0; 4]);
+        assert_eq!(agg.get("w.bias").unwrap().data(), &[0.0]);
+    }
+
+    #[test]
+    fn readout_rounds_to_nearest_even() {
+        // 2^53 + 1 is the first integer f64 cannot represent: folding
+        // weights 2^30 of x=2^23+..., engineered so the exact sum needs 54
+        // bits, must round like f64 does. Cross-check against the exact
+        // integer arithmetic done in u128.
+        let big = (1u64 << 53) + 1; // rounds to 2^53 (ties-to-even on the half case below)
+        let mut limbs = vec![0u64; LIMBS];
+        add_mag(&mut limbs, 149, big); // scaled by 2^149 → value = big
+        assert_eq!(readout(&limbs), big as f64);
+        // Explicit tie: 2^53 + 2 is representable; 2^53 + 1 ties between
+        // 2^53 and 2^53 + 2 and must go to the even mantissa (2^53).
+        assert_eq!(big as f64, (1u64 << 53) as f64);
+        // And a sticky bit below the round bit forces rounding up.
+        let mut limbs = vec![0u64; LIMBS];
+        add_mag(&mut limbs, 148, (1u64 << 54) + 3); // value = 2^53 + 1.5
+        assert_eq!(readout(&limbs), ((1u64 << 53) + 2) as f64);
     }
 }

@@ -79,14 +79,18 @@ pub struct Checkpoint {
 /// trajectory. Deliberately excludes `rounds` (so a run can be resumed
 /// with a longer horizon) and the checkpoint fields themselves (where a
 /// checkpoint lives does not change what it contains); everything else —
-/// seed, population, architecture, data, optimizer, compression — must
-/// match or a resume would silently splice two different experiments.
+/// seed, population, sampling fraction, architecture, data, optimizer,
+/// compression — must match or a resume would silently splice two
+/// different experiments. The sampling inputs matter because the per-round
+/// cohort is drawn from `(seed, round, population, sample_fraction)`: a
+/// resumed run must replay the exact cohorts the uninterrupted run would
+/// have drawn.
 pub fn config_fingerprint(cfg: &FlConfig) -> u64 {
     // The Debug rendering of the trajectory fields is stable within a
     // build of this workspace, which is the scope a checkpoint targets;
     // float fields go in as exact bit patterns.
     let key = format!(
-        "{:?}|{:?}|{}|{}|{}|{}|{:x}|{:x}|{}|{}|{:?}|{:?}",
+        "{:?}|{:?}|{}|{}|{}|{}|{:x}|{:x}|{}|{}|{:?}|{:?}|{}|{:x}",
         cfg.arch,
         cfg.dataset,
         cfg.n_clients,
@@ -99,6 +103,8 @@ pub fn config_fingerprint(cfg: &FlConfig) -> u64 {
         cfg.test_samples,
         cfg.compression,
         cfg.dirichlet_alpha.map(f64::to_bits),
+        cfg.population,
+        cfg.sample_fraction.to_bits(),
     );
     // FNV-1a 64.
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -447,6 +453,25 @@ mod tests {
         };
         assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
         assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_tracks_sampling_fields() {
+        // The cohort draw is a function of (seed, round, population,
+        // sample_fraction); changing either sampling knob changes which
+        // clients train, so resume must refuse to splice such runs.
+        let a = FlConfig::default();
+        let b = FlConfig {
+            population: 1000,
+            ..a.clone()
+        };
+        let c = FlConfig {
+            population: 1000,
+            sample_fraction: 0.01,
+            ..a.clone()
+        };
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(config_fingerprint(&b), config_fingerprint(&c));
     }
 
     #[test]

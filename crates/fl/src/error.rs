@@ -46,6 +46,12 @@ pub enum FlError {
         /// Round whose broadcast went out before the kill.
         round: usize,
     },
+    /// Aggregation refused the update set: empty, a structure mismatch
+    /// against the accumulator's reference model, a non-finite value, a
+    /// hostile sample count, or a total-weight overflow. The typed
+    /// replacement for the seed `fedavg`'s asserts, which fired inside a
+    /// Rayon worker and aborted the whole server.
+    Aggregate(String),
 }
 
 impl std::fmt::Display for FlError {
@@ -68,6 +74,7 @@ impl std::fmt::Display for FlError {
             FlError::ServerKilled { round } => {
                 write!(f, "server killed after broadcasting round {round}")
             }
+            FlError::Aggregate(m) => write!(f, "aggregation failed: {m}"),
         }
     }
 }
@@ -108,6 +115,9 @@ mod tests {
             .contains("disconnected"));
         let c = FlError::from(CodecError::Corrupt("bad FedSZ magic"));
         assert!(c.to_string().contains("bad FedSZ magic"));
+        let a = FlError::Aggregate("structure mismatch".into());
+        assert!(a.to_string().contains("aggregation failed"), "{a}");
+        assert!(a.to_string().contains("structure mismatch"), "{a}");
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum FaultKind {
     /// decodes cleanly; validation rejects the structure mismatch
     /// (counted `quarantined`).
     WrongShape,
+    /// Protocol-level: the client sends its (valid) update, then replays it
+    /// this many extra times — the double for a stuck retry loop or a
+    /// hostile duplicator. The server accepts the first copy only; replays
+    /// are discarded before they buffer or decode, so the aggregate is
+    /// bit-identical to an un-replayed run.
+    Replay(usize),
 }
 
 /// One planned fault: `client` misbehaves in `round`.
@@ -165,6 +171,17 @@ impl FaultPlan {
         self
     }
 
+    /// Plan `client` to send its valid `round` update once, then replay it
+    /// `n` extra times (all copies past the first are discarded unread).
+    pub fn replay(mut self, client: usize, round: usize, n: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::Replay(n),
+        });
+        self
+    }
+
     /// Kill the server after it broadcasts `round`, before any update for
     /// that round is collected — the deterministic stand-in for a SIGKILL
     /// mid-round. The run aborts with
@@ -257,6 +274,14 @@ mod tests {
         assert_eq!(plan.fault_for(0, 1), Some(FaultKind::NonFiniteUpdate));
         assert_eq!(plan.fault_for(1, 2), Some(FaultKind::WrongShape));
         assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn replay_builder_accumulates() {
+        let plan = FaultPlan::new().replay(2, 1, 5);
+        assert_eq!(plan.fault_for(2, 1), Some(FaultKind::Replay(5)));
+        assert_eq!(plan.fault_for(2, 0), None);
+        assert_eq!(plan.len(), 1);
     }
 
     #[test]

@@ -32,9 +32,19 @@
 //!
 //! Server-side decode + validate runs on a bounded worker pool
 //! ([`ingest`], sized by [`FlConfig::ingest_workers`]) while the collector
-//! keeps draining the transport; outcomes settle in submission order, so
-//! any worker count — including 0, the serial path — produces bit-identical
-//! runs and differs only in wall time.
+//! keeps draining the transport; outcomes settle in submission order and
+//! fold one at a time into a streaming [`aggregate::StreamingFedAvg`]
+//! accumulator, so the server holds O(model) memory — never
+//! O(cohort × model) — and any worker count, including 0, the serial path,
+//! produces bit-identical runs and differs only in wall time. The
+//! accumulator is an exact fixed-point superaccumulator, so the fold order
+//! cannot change the result either.
+//!
+//! Beyond the paper's four-client cross-silo testbed, [`sampling`] scales
+//! the loop to the cross-device regime: a server registers a large
+//! [`FlConfig::population`] and trains a per-round cohort of
+//! [`FlConfig::sample_fraction`] × population, drawn deterministically from
+//! the run seed (resume replays the same cohorts).
 
 pub mod aggregate;
 pub mod checkpoint;
@@ -43,12 +53,13 @@ pub mod fault;
 pub mod ingest;
 pub mod net;
 pub mod partition;
+pub mod sampling;
 pub mod session;
 pub mod transport;
 pub mod validate;
 pub mod wire;
 
-pub use aggregate::fedavg;
+pub use aggregate::{fedavg, StreamingFedAvg};
 pub use checkpoint::{config_fingerprint, Checkpoint};
 pub use error::FlError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};

@@ -304,25 +304,26 @@ impl ServerTransport for TcpServer {
         &mut self,
         round: usize,
         attempt: usize,
+        cohort: &[usize],
         model: &fedsz::CompressedUpdate,
     ) -> BroadcastOutcome {
         // Adopt rejoins and disconnects that happened between rounds.
         while let Ok(ev) = self.events_rx.try_recv() {
             self.process_control(ev);
         }
-        // Each freshly lost slot gets one bounded chance to rejoin before
-        // it misses a broadcast.
-        if self
-            .slots
-            .iter()
-            .any(|s| s.stream.is_none() && s.grace_owed)
-        {
-            let deadline = Instant::now() + self.ncfg.rejoin_grace;
-            while self
-                .slots
+        // Each freshly lost *cohort* slot gets one bounded chance to rejoin
+        // before it misses a broadcast. Disconnected clients outside the
+        // cohort neither delay this round nor spend their grace — they are
+        // not being waited for.
+        let grace_pending = |slots: &[Slot]| {
+            cohort
                 .iter()
+                .filter_map(|&id| slots.get(id))
                 .any(|s| s.stream.is_none() && s.grace_owed)
-            {
+        };
+        if grace_pending(&self.slots) {
+            let deadline = Instant::now() + self.ncfg.rejoin_grace;
+            while grace_pending(&self.slots) {
                 let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                     break;
                 };
@@ -332,9 +333,11 @@ impl ServerTransport for TcpServer {
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            for slot in &mut self.slots {
-                if slot.stream.is_none() {
-                    slot.grace_owed = false; // grace spent
+            for &id in cohort {
+                if let Some(slot) = self.slots.get_mut(id) {
+                    if slot.stream.is_none() {
+                        slot.grace_owed = false; // grace spent
+                    }
                 }
             }
         }
@@ -347,13 +350,13 @@ impl ServerTransport for TcpServer {
         let mut reached = vec![false; self.slots.len()];
         let mut bytes_down = 0usize;
         let mut dead = Vec::new();
-        for (id, flag) in reached.iter_mut().enumerate() {
-            let Some(stream) = self.slots[id].stream.as_mut() else {
+        for &id in cohort {
+            let Some(stream) = self.slots.get_mut(id).and_then(|s| s.stream.as_mut()) else {
                 continue;
             };
             match wire::write_frame_bytes(stream, &bytes) {
                 Ok(n) => {
-                    *flag = true;
+                    reached[id] = true;
                     bytes_down += n;
                 }
                 Err(_) => dead.push(id),
@@ -575,7 +578,10 @@ fn tcp_client_loop(
     ncfg: &NetConfig,
 ) {
     let (c, h, _, classes) = cfg.dataset.dims();
-    let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
+    // Built on the first broadcast, not at connect: a registered client the
+    // cohort never samples must not pay for (or hold) a model. Bit-identical
+    // to an eager build — `load_state_dict` resets optimizer state.
+    let mut net: Option<fedsz_dnn::Network> = None;
     // Every client derives the same deterministic shards from the shared
     // seed and takes its own — data never crosses the wire.
     let (_, mut shards) = setup_data(cfg);
@@ -643,8 +649,10 @@ fn tcp_client_loop(
         let Ok(sd) = fedsz::decompress(&model) else {
             continue; // corrupt model: wait for the next broadcast
         };
+        let net =
+            net.get_or_insert_with(|| cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1)));
         net.load_state_dict(&sd);
-        let out = local_round(&mut net, cfg, &shard, id, round);
+        let out = local_round(net, cfg, &shard, id, round);
 
         // Faults fire on the first attempt of their round only (matching
         // the channel transport), so quorum retries see a healthy client.
@@ -723,9 +731,26 @@ fn tcp_client_loop(
                 // passes its CRC and the FedSZ decode, and only the
                 // server's semantic validation quarantines it.
                 if let Frame::Update { payload, .. } = &mut update {
-                    *payload = poisoned_payload(&net, kind);
+                    *payload = poisoned_payload(net, kind);
                 }
                 if wire::write_frame(&mut stream, &update).is_err() {
+                    reconnect_or_return!();
+                }
+            }
+            Some(FaultKind::Replay(n)) => {
+                // Send the valid frame, then replay the identical bytes n
+                // more times: every copy passes its CRC and would decode,
+                // but the server's first-wins admission discards all but
+                // the first unread.
+                let bytes = wire::encode(&update);
+                let mut died = false;
+                for _ in 0..=n {
+                    if wire::write_frame_bytes(&mut stream, &bytes).is_err() {
+                        died = true;
+                        break;
+                    }
+                }
+                if died {
                     reconnect_or_return!();
                 }
             }
@@ -747,8 +772,9 @@ fn serve_on(
 ) -> Result<FlRunResult, FlError> {
     let (test, _) = setup_data(cfg);
     let bcast_cfg = broadcast_config(&cfg.compression);
-    let mut server = TcpServer::start(listener, cfg.n_clients, ncfg.clone())?;
-    let joined = server.await_joins(cfg.n_clients, ncfg.join_timeout);
+    let registered = cfg.registered();
+    let mut server = TcpServer::start(listener, registered, ncfg.clone())?;
+    let joined = server.await_joins(registered, ncfg.join_timeout);
     if joined == 0 {
         server.stop();
         return Err(FlError::Transport(
@@ -782,7 +808,7 @@ pub fn run_tcp_with(
         .map_err(|e| FlError::Transport(format!("local addr: {e}")))?;
     let plan = Arc::new(tcfg.faults.clone());
     let idle = tcfg.client_idle_timeout;
-    let handles: Vec<_> = (0..cfg.n_clients)
+    let handles: Vec<_> = (0..cfg.registered())
         .map(|id| {
             let cfg = cfg.clone();
             let ncfg = ncfg.clone();
@@ -822,10 +848,10 @@ pub fn run_tcp_client(
     idle: Option<Duration>,
     ncfg: &NetConfig,
 ) -> Result<(), FlError> {
-    if client_id >= cfg.n_clients {
+    if client_id >= cfg.registered() {
         return Err(FlError::Transport(format!(
-            "client id {client_id} out of range for {} clients",
-            cfg.n_clients
+            "client id {client_id} out of range for {} registered clients",
+            cfg.registered()
         )));
     }
     use std::net::ToSocketAddrs;

@@ -1,16 +1,17 @@
 //! FedAvg orchestration with optional FedSZ compression of client updates —
 //! the simulation loop behind Table I's accuracy columns and Figures 4–7.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
-use fedsz_dnn::{DatasetKind, ModelArch, Network};
+use fedsz_dnn::{DatasetKind, ModelArch};
 use fedsz_tensor::{SplitMix64, StateDict};
 use rayon::prelude::*;
 
-use crate::aggregate::fedavg;
+use crate::aggregate::StreamingFedAvg;
 use crate::checkpoint::{self, Checkpoint};
 use crate::error::FlError;
 use crate::ingest::{self, IngestPool, Verdict};
@@ -50,7 +51,18 @@ pub struct FlConfig {
     pub compression: Option<FedSzConfig>,
     /// Dirichlet concentration for non-IID sharding; `None` = IID.
     pub dirichlet_alpha: Option<f64>,
-    /// Master seed (controls data, init, and shuffling).
+    /// Registered client population for cross-device sampling. `0` (the
+    /// default) means "equal to `n_clients`" — the paper's cross-silo
+    /// setting where everyone participates every round. A larger value
+    /// registers that many clients (each with its own data shard) of which
+    /// only a per-round cohort of `sample_fraction × population` trains;
+    /// see [`FlConfig::cohort_for_round`].
+    pub population: usize,
+    /// Fraction of the registered population sampled per round, clamped to
+    /// `[0, 1]`; the cohort never goes empty (at least one client). `1.0`
+    /// (the default) selects everyone, reproducing the cross-silo loop.
+    pub sample_fraction: f64,
+    /// Master seed (controls data, init, shuffling, and cohort sampling).
     pub seed: u64,
     /// Directory for durable round checkpoints; `None` disables them.
     pub checkpoint_dir: Option<PathBuf>,
@@ -84,6 +96,8 @@ impl Default for FlConfig {
             test_samples: 256,
             compression: None,
             dirichlet_alpha: None,
+            population: 0,
+            sample_fraction: 1.0,
             seed: 42,
             checkpoint_dir: None,
             checkpoint_every: 1,
@@ -104,6 +118,27 @@ impl FlConfig {
             }),
             ..Self::default()
         }
+    }
+
+    /// Number of registered clients: `population`, but never below
+    /// `n_clients` (and exactly `n_clients` when `population` is 0, the
+    /// cross-silo default). Client ids, data shards, and transport slots
+    /// all range over `0..registered()`.
+    pub fn registered(&self) -> usize {
+        self.population.max(self.n_clients)
+    }
+
+    /// Cohort size per round under this config's sampling policy.
+    pub fn cohort_size(&self) -> usize {
+        crate::sampling::cohort_size(self.registered(), self.sample_fraction)
+    }
+
+    /// The sorted client cohort participating in `round` — deterministic in
+    /// `(seed, round, population, sample_fraction)`, so every transport
+    /// (and a resumed run) selects identical cohorts. Full coverage
+    /// (`sample_fraction = 1`) returns `0..registered()`.
+    pub fn cohort_for_round(&self, round: usize) -> Vec<usize> {
+        crate::sampling::cohort_for_round(self.seed, round, self.registered(), self.sample_fraction)
     }
 
     /// Should a checkpoint be written after completing `round`? The cadence
@@ -208,7 +243,9 @@ impl RoundMetrics {
 pub struct FlRunResult {
     /// Per-round measurements.
     pub rounds: Vec<RoundMetrics>,
-    /// Number of clients (for per-client normalization).
+    /// Clients participating per round (the sampled cohort size, equal to
+    /// the configured client count when sampling is off) — the divisor for
+    /// per-client normalization.
     pub n_clients: usize,
     /// The aggregated global model after the final round — the artifact the
     /// kill-and-resume tests compare bit for bit.
@@ -302,21 +339,22 @@ pub fn run_scheduled(
     schedule: impl Fn(usize) -> Option<FedSzConfig> + Sync,
 ) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
-    let total_train = cfg.n_clients * cfg.samples_per_client;
+    let registered = cfg.registered();
+    let total_train = registered * cfg.samples_per_client;
     let (train, test) = cfg
         .dataset
         .generate(total_train, cfg.test_samples, cfg.seed);
 
     let mut rng = SplitMix64::new(cfg.seed ^ 0xF17E_57A7);
     let shards = match cfg.dirichlet_alpha {
-        Some(alpha) => partition::dirichlet(&train, cfg.n_clients, alpha, &mut rng),
-        None => partition::iid(&train, cfg.n_clients, &mut rng),
+        Some(alpha) => partition::dirichlet(&train, registered, alpha, &mut rng),
+        None => partition::iid(&train, registered, &mut rng),
     };
 
-    // One long-lived network per client plus a server-side evaluator.
-    let mut clients: Vec<Network> = (0..cfg.n_clients)
-        .map(|i| cfg.arch.build(c, h, classes, cfg.seed ^ (i as u64 + 1)))
-        .collect();
+    // Client networks are built lazily per round for the sampled cohort
+    // only (`load_state_dict` resets optimizer momentum, so a fresh build
+    // plus load is bit-identical to a long-lived client); the server keeps
+    // just the evaluator.
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
     let resume = resume_point(cfg, server.state_dict())?;
     // Shared with the ingest workers by `Arc`, so concurrent validation
@@ -331,24 +369,32 @@ pub fn run_scheduled(
     let mut ingest_pool = IngestPool::new(cfg.ingest_workers);
 
     for round in resume.start_round..cfg.rounds {
-        // Local training, parallel across clients.
+        // Local training, parallel across this round's sampled cohort.
+        // A client's update travels either compressed (the wire payload)
+        // or as its raw state dict (the uncompressed baseline) — exactly
+        // one copy, moved into the collector below and dropped as soon as
+        // it folds into the streaming aggregate.
+        enum ClientPayload {
+            Compressed(CompressedUpdate),
+            Raw(StateDict),
+        }
         struct ClientOut {
-            sd: StateDict,
+            payload: Option<ClientPayload>,
             n: usize,
             train_s: f64,
             compress_s: f64,
             wire_bytes: usize,
             raw_bytes: usize,
-            update: Option<CompressedUpdate>,
         }
-        let mut outs: Vec<ClientOut> = clients
-            .par_iter_mut()
-            .zip(shards.par_iter())
-            .enumerate()
-            .map(|(i, (net, shard))| {
+        let cohort = cfg.cohort_for_round(round);
+        let mut outs: Vec<ClientOut> = cohort
+            .par_iter()
+            .map(|&id| {
+                let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
                 net.load_state_dict(&global);
+                let shard = &shards[id];
                 let mut lrng = SplitMix64::new(
-                    cfg.seed ^ ((round as u64) << 32) ^ (i as u64).wrapping_mul(0x9E37),
+                    cfg.seed ^ ((round as u64) << 32) ^ (id as u64).wrapping_mul(0x9E37),
                 );
                 let t0 = Instant::now();
                 for _ in 0..cfg.local_epochs {
@@ -358,45 +404,81 @@ pub fn run_scheduled(
                 let sd = net.state_dict();
                 let raw_bytes = sd.nbytes();
                 let round_compression = schedule(round);
-                let (update, compress_s, wire_bytes) = match &round_compression {
+                let (payload, compress_s, wire_bytes) = match &round_compression {
                     Some(fsz) => {
                         let t1 = Instant::now();
                         let update = fedsz::compress(&sd, fsz);
                         let secs = t1.elapsed().as_secs_f64();
                         let nbytes = update.nbytes();
-                        (Some(update), secs, nbytes)
+                        (ClientPayload::Compressed(update), secs, nbytes)
                     }
-                    None => (None, 0.0, raw_bytes),
+                    None => (ClientPayload::Raw(sd), 0.0, raw_bytes),
                 };
                 ClientOut {
-                    sd,
+                    payload: Some(payload),
                     n: shard.n.max(1),
                     train_s,
                     compress_s,
                     wire_bytes,
                     raw_bytes,
-                    update,
                 }
             })
             .collect();
 
-        // Server: decompress (when compressed), validate, aggregate,
-        // evaluate. Even without a hostile transport an update can fail
+        // Server: decompress (when compressed), validate, and *stream*
+        // each accepted update into the running O(model) FedAvg
+        // accumulator. Even without a hostile transport an update can fail
         // validation (e.g. training divergence to NaN); such clients are
         // quarantined from the aggregate instead of poisoning it. With
         // `ingest_workers > 0` the decode + validate work runs concurrently
-        // on the ingest pool; outcomes settle by client index, so
-        // aggregation stays bit-identical to the serial path for any worker
-        // count. Decompression is timed alone (validation excluded) and
-        // charged for failed and quarantined decodes too.
-        let mut outcomes: Vec<Option<(Verdict, f64)>> = (0..outs.len()).map(|_| None).collect();
+        // on the ingest pool; outcomes settle in contiguous client-index
+        // order before folding, so the out-of-order buffer holds at most
+        // the in-flight window — never the whole cohort — and any worker
+        // count stays bit-identical to the serial path (the exact
+        // accumulator is order-independent besides). Decompression is
+        // timed alone (validation excluded) and charged for failed and
+        // quarantined decodes too.
+        struct Collector {
+            agg: StreamingFedAvg,
+            buffered: BTreeMap<u64, (Verdict, f64, usize)>,
+            next: u64,
+            decompress_s_total: f64,
+            quarantined: usize,
+        }
+        impl Collector {
+            /// Fold every outcome that is now contiguous from `next`,
+            /// dropping each update as it folds.
+            fn settle(&mut self) -> Result<(), FlError> {
+                while let Some((verdict, decompress_s, samples)) = self.buffered.remove(&self.next)
+                {
+                    self.next += 1;
+                    self.decompress_s_total += decompress_s;
+                    match verdict {
+                        Verdict::Accept(sd) => self.agg.fold(&sd, samples)?,
+                        Verdict::Quarantine => self.quarantined += 1,
+                        // The in-process path has no per-client transport,
+                        // so a decode failure stays a typed error, not a
+                        // rejection.
+                        Verdict::Reject(e) => return Err(e.into()),
+                    }
+                }
+                Ok(())
+            }
+        }
+        let mut collect = Collector {
+            agg: StreamingFedAvg::new(&global),
+            buffered: BTreeMap::new(),
+            next: 0,
+            decompress_s_total: 0.0,
+            quarantined: 0,
+        };
         let mut in_flight = 0usize;
         for (i, out) in outs.iter_mut().enumerate() {
-            match out.update.take() {
-                Some(payload) => {
+            match out.payload.take().expect("each client trained once") {
+                ClientPayload::Compressed(payload) => {
                     ingest_pool.submit(ingest::Job {
                         seq: i as u64,
-                        client_id: i,
+                        client_id: cohort[i],
                         payload,
                         samples: out.n,
                         train_s: 0.0,
@@ -407,36 +489,37 @@ pub fn run_scheduled(
                     });
                     in_flight += 1;
                 }
-                // Uncompressed path: nothing to decode, validate in-line.
-                None => {
-                    let verdict = match validate_update(&out.sd, &global, out.n) {
-                        Ok(()) => Verdict::Accept(Box::new(out.sd.clone())),
+                // Uncompressed path: nothing to decode, validate in-line
+                // and hand the state dict itself to the collector.
+                ClientPayload::Raw(sd) => {
+                    let verdict = match validate_update(&sd, &global, out.n) {
+                        Ok(()) => Verdict::Accept(Box::new(sd)),
                         Err(_) => Verdict::Quarantine,
                     };
-                    outcomes[i] = Some((verdict, 0.0));
+                    collect.buffered.insert(i as u64, (verdict, 0.0, out.n));
                 }
             }
+            // Opportunistically drain and fold while submission continues,
+            // keeping the settled window (and pool queues) small.
+            while let Some(done) = ingest_pool.try_recv() {
+                in_flight -= 1;
+                collect
+                    .buffered
+                    .insert(done.seq, (done.verdict, done.decompress_s, done.samples));
+            }
+            collect.settle()?;
         }
         while in_flight > 0 {
             let done = ingest_pool.recv();
             in_flight -= 1;
-            outcomes[done.seq as usize] = Some((done.verdict, done.decompress_s));
+            collect
+                .buffered
+                .insert(done.seq, (done.verdict, done.decompress_s, done.samples));
+            collect.settle()?;
         }
-        let mut decompress_s_total = 0.0f64;
-        let mut quarantined = 0usize;
-        let mut weighted: Vec<(StateDict, usize)> = Vec::with_capacity(outs.len());
-        for (slot, out) in outcomes.into_iter().zip(&outs) {
-            let (verdict, decompress_s) = slot.expect("every client was ingested");
-            decompress_s_total += decompress_s;
-            match verdict {
-                Verdict::Accept(sd) => weighted.push((*sd, out.n)),
-                Verdict::Quarantine => quarantined += 1,
-                // The in-process path has no per-client transport, so a
-                // decode failure stays a typed error, not a rejection.
-                Verdict::Reject(e) => return Err(e.into()),
-            }
-        }
-        if weighted.is_empty() {
+        debug_assert!(collect.buffered.is_empty());
+        let quarantined = collect.quarantined;
+        if collect.agg.folded() == 0 {
             // Every update was quarantined: FedAvg has nothing to average.
             return Err(FlError::QuorumNotMet {
                 round,
@@ -444,7 +527,8 @@ pub fn run_scheduled(
                 required: 1,
             });
         }
-        global = Arc::new(fedavg(&weighted));
+        let delivered = collect.agg.folded();
+        global = Arc::new(collect.agg.finish()?);
         server.load_state_dict(&global);
         let accuracy = server.evaluate(&test);
 
@@ -453,12 +537,12 @@ pub fn run_scheduled(
             accuracy,
             train_s_total: outs.iter().map(|o| o.train_s).sum(),
             compress_s_total: outs.iter().map(|o| o.compress_s).sum(),
-            decompress_s_total,
+            decompress_s_total: collect.decompress_s_total,
             bytes_on_wire: outs.iter().map(|o| o.wire_bytes).sum(),
             bytes_down_wire: 0,
             bytes_uncompressed: outs.iter().map(|o| o.raw_bytes).sum(),
             faults: FaultCounters {
-                delivered: cfg.n_clients - quarantined,
+                delivered,
                 quarantined,
                 ..FaultCounters::default()
             },
@@ -467,7 +551,7 @@ pub fn run_scheduled(
     }
     Ok(FlRunResult {
         rounds,
-        n_clients: cfg.n_clients,
+        n_clients: cfg.cohort_size(),
         // Each round drains its in-flight jobs, so no worker still holds a
         // reference; the clone is only a defensive fallback.
         final_model: Arc::try_unwrap(global).unwrap_or_else(|g| (*g).clone()),

@@ -31,7 +31,12 @@
 //! * A **straggler** that misses the per-round deadline is counted as
 //!   `late`; its stale message is discarded when it eventually arrives.
 //!
-//! Each round aggregates FedAvg over the quorum of valid, on-time updates.
+//! Each round aggregates FedAvg over the quorum of valid, on-time updates —
+//! *streamed*: every accepted update folds into an exact O(model)
+//! accumulator ([`StreamingFedAvg`]) the moment it settles and is then
+//! dropped, so server memory is independent of how many clients answer.
+//! With cross-device sampling ([`FlConfig::population`]) each round first
+//! draws its cohort and broadcasts to those clients only.
 //! If the quorum falls below [`TransportConfig::min_quorum`], the round is
 //! retried up to [`TransportConfig::max_round_retries`] times and the run
 //! then aborts with [`FlError::QuorumNotMet`] — a typed error, not a panic.
@@ -47,7 +52,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
 use fedsz_tensor::{SplitMix64, StateDict, Tensor};
 
-use crate::aggregate::fedavg;
+use crate::aggregate::StreamingFedAvg;
 use crate::error::FlError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::ingest::{self, IngestPool, Verdict};
@@ -137,8 +142,10 @@ pub(crate) enum RecvEnd {
 
 /// Result of one broadcast: which clients it reached and what it cost.
 pub(crate) struct BroadcastOutcome {
-    /// Per-client: did the downlink send succeed? Reached clients are
-    /// expected to answer; the rest are `dropped` for this round.
+    /// Per *registered* client: did the downlink send succeed? Only cohort
+    /// members are attempted, so ids outside the round's cohort are always
+    /// `false`. Reached clients are expected to answer; cohort members the
+    /// broadcast could not reach are `dropped` for this round.
     pub(crate) reached: Vec<bool>,
     /// Bytes put on the wire by this broadcast (0 for unreachable clients).
     pub(crate) bytes_down: usize,
@@ -156,11 +163,13 @@ impl BroadcastOutcome {
 /// implementations own only the mechanics of moving bytes (channels in this
 /// module, framed TCP in [`crate::net`]).
 pub(crate) trait ServerTransport {
-    /// Broadcast `model` for `(round, attempt)` to every reachable client.
+    /// Broadcast `model` for `(round, attempt)` to every reachable client
+    /// in `cohort` (sorted registered-client ids — the round's sample).
     fn broadcast(
         &mut self,
         round: usize,
         attempt: usize,
+        cohort: &[usize],
         model: &CompressedUpdate,
     ) -> BroadcastOutcome;
 
@@ -177,18 +186,21 @@ pub(crate) fn broadcast_config(uplink: &Option<FedSzConfig>) -> FedSzConfig {
     }
 }
 
-/// Generate the dataset and deterministic per-client shards for `cfg`.
+/// Generate the dataset and deterministic per-client shards for `cfg` —
+/// one shard per *registered* client, so a sampled cohort trains on the
+/// same data whether it runs in-process, over channels, or over TCP.
 /// Every process that derives its shard this way — the in-process session,
 /// the threaded transport, a remote TCP client — sees identical data.
 pub(crate) fn setup_data(cfg: &FlConfig) -> (fedsz_dnn::Dataset, Vec<fedsz_dnn::Dataset>) {
-    let total_train = cfg.n_clients * cfg.samples_per_client;
+    let registered = cfg.registered();
+    let total_train = registered * cfg.samples_per_client;
     let (train, test) = cfg
         .dataset
         .generate(total_train, cfg.test_samples, cfg.seed);
     let mut rng = SplitMix64::new(cfg.seed ^ 0xF17E_57A7);
     let shards = match cfg.dirichlet_alpha {
-        Some(alpha) => partition::dirichlet(&train, cfg.n_clients, alpha, &mut rng),
-        None => partition::iid(&train, cfg.n_clients, &mut rng),
+        Some(alpha) => partition::dirichlet(&train, registered, alpha, &mut rng),
+        None => partition::iid(&train, registered, &mut rng),
     };
     (test, shards)
 }
@@ -283,8 +295,12 @@ pub fn run_threaded(cfg: &FlConfig) -> Result<FlRunResult, FlError> {
 }
 
 /// Run the threaded federated session under an explicit transport policy.
+/// One OS thread per *registered* client; threads outside a round's cohort
+/// simply block on their downlink until sampled (and build no network until
+/// their first broadcast arrives).
 pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
+    let registered = cfg.registered();
     let (test, shards) = setup_data(cfg);
 
     let (up_tx, up_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = unbounded();
@@ -292,8 +308,8 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
     let plan = Arc::new(tcfg.faults.clone());
     let idle = tcfg.client_idle_timeout;
 
-    let mut down_txs: Vec<Sender<ServerMsg>> = Vec::with_capacity(cfg.n_clients);
-    let mut handles = Vec::with_capacity(cfg.n_clients);
+    let mut down_txs: Vec<Sender<ServerMsg>> = Vec::with_capacity(registered);
+    let mut handles = Vec::with_capacity(registered);
     for (i, shard) in shards.into_iter().enumerate() {
         let (down_tx, down_rx) = bounded::<ServerMsg>(1);
         down_txs.push(down_tx);
@@ -309,7 +325,7 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
     let mut transport = ChannelTransport {
         down_txs: &down_txs,
         up_rx: &up_rx,
-        dead: vec![false; cfg.n_clients],
+        dead: vec![false; registered],
     };
     let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut transport);
 
@@ -340,11 +356,12 @@ impl ServerTransport for ChannelTransport<'_> {
         &mut self,
         round: usize,
         attempt: usize,
+        cohort: &[usize],
         model: &CompressedUpdate,
     ) -> BroadcastOutcome {
         let mut reached = vec![false; self.down_txs.len()];
         let mut bytes_down = 0usize;
-        for (id, tx) in self.down_txs.iter().enumerate() {
+        for &id in cohort {
             if self.dead[id] {
                 continue;
             }
@@ -353,7 +370,7 @@ impl ServerTransport for ChannelTransport<'_> {
                 attempt,
                 model: model.clone(),
             };
-            if tx.send(msg).is_err() {
+            if self.down_txs[id].send(msg).is_err() {
                 self.dead[id] = true;
             } else {
                 reached[id] = true;
@@ -404,7 +421,12 @@ fn client_loop(
     down_rx: &Receiver<ServerMsg>,
     up_tx: &Sender<ClientMsg>,
 ) {
-    let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
+    // Built on the first broadcast, not at spawn: with cross-device
+    // sampling, most registered clients sit out most rounds, and a
+    // never-sampled client must not pay for (or hold) a model. The lazy
+    // build is bit-identical to an eager one — `load_state_dict` resets
+    // optimizer state, so every broadcast fully determines the network.
+    let mut net: Option<fedsz_dnn::Network> = None;
     loop {
         let msg = match idle {
             // A server that hangs without closing the channel must not trap
@@ -429,8 +451,10 @@ fn client_loop(
         let Ok(sd) = fedsz::decompress(&model) else {
             return; // corrupt broadcast: nothing sane to train on
         };
+        let net =
+            net.get_or_insert_with(|| cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1)));
         net.load_state_dict(&sd);
-        let out = local_round(&mut net, &cfg, &shard, id, round);
+        let out = local_round(net, &cfg, &shard, id, round);
 
         // Injected faults fire on the first attempt of their round only, so
         // a quorum retry observes a healthy client again.
@@ -477,12 +501,22 @@ fn client_loop(
             Some(kind @ (FaultKind::NonFiniteUpdate | FaultKind::WrongShape)) => {
                 // Cleanly-decoding poison: only the server's semantic
                 // validation stands between this and the aggregate.
-                poisoned_payload(&net, kind)
+                poisoned_payload(net, kind)
             }
-            None => out.payload,
+            // The replayed copies go out below, after the honest send.
+            Some(FaultKind::Replay(_)) | None => out.payload,
         };
-        if up_tx
-            .send(ClientMsg {
+        // A replay fault sends byte-identical duplicates after the honest
+        // copy; the server must accept the first and discard the rest.
+        let replays = match fault {
+            Some(FaultKind::Replay(n)) => n,
+            _ => 0,
+        };
+        let duplicates: Vec<CompressedUpdate> = (0..replays)
+            .map(|_| CompressedUpdate::from_bytes(payload.as_bytes().to_vec()))
+            .collect();
+        for payload in std::iter::once(payload).chain(duplicates) {
+            let msg = ClientMsg {
                 client_id: id,
                 round,
                 attempt,
@@ -491,10 +525,10 @@ fn client_loop(
                 train_s: out.train_s,
                 compress_s: out.compress_s,
                 raw_bytes: out.raw_bytes,
-            })
-            .is_err()
-        {
-            return; // server gone: shut down quietly
+            };
+            if up_tx.send(msg).is_err() {
+                return; // server gone: shut down quietly
+            }
         }
     }
 }
@@ -521,6 +555,10 @@ pub(crate) fn serve<T: ServerTransport>(
 
     for round in resume.start_round..cfg.rounds {
         let broadcast = fedsz::compress(&global, bcast_cfg);
+        // The round's sampled cohort: stable across quorum retries (the
+        // draw keys on the round index, not the attempt) and identical on
+        // every transport and on resume.
+        let cohort = cfg.cohort_for_round(round);
         let mut metrics = RoundMetrics {
             round,
             accuracy: 0.0,
@@ -533,9 +571,9 @@ pub(crate) fn serve<T: ServerTransport>(
             faults: FaultCounters::default(),
         };
 
-        let weighted = 'attempts: {
+        let agg = 'attempts: {
             for attempt in 0..=tcfg.max_round_retries {
-                let outcome = transport.broadcast(round, attempt, &broadcast);
+                let outcome = transport.broadcast(round, attempt, &cohort, &broadcast);
                 // The server-kill hook fires after the broadcast goes out
                 // but before any update is collected — the deterministic
                 // double for a SIGKILL mid-round. Rounds before this one
@@ -544,14 +582,16 @@ pub(crate) fn serve<T: ServerTransport>(
                     return Err(FlError::ServerKilled { round });
                 }
                 let expected = outcome.expected();
-                metrics.faults.dropped = cfg.n_clients - expected;
+                // Saturating: a transport may report reaching a client the
+                // cohort did not name (e.g. a rejoin raced the sample), and
+                // an underflow here was once an abort-on-subtract panic.
+                metrics.faults.dropped = cohort.len().saturating_sub(expected);
                 metrics.bytes_down_wire += outcome.bytes_down;
                 if expected == 0 {
                     return Err(FlError::AllClientsDead { round });
                 }
 
                 let collected = collect_attempt(
-                    cfg,
                     round,
                     attempt,
                     &outcome.reached,
@@ -560,9 +600,9 @@ pub(crate) fn serve<T: ServerTransport>(
                     &global,
                     &mut pool,
                     &mut metrics,
-                );
+                )?;
                 if collected.delivered >= tcfg.quorum() {
-                    break 'attempts collected.updates;
+                    break 'attempts collected.agg;
                 }
                 if attempt == tcfg.max_round_retries {
                     return Err(FlError::QuorumNotMet {
@@ -571,11 +611,13 @@ pub(crate) fn serve<T: ServerTransport>(
                         required: tcfg.quorum(),
                     });
                 }
+                // Quorum starved: the partial aggregate of this attempt is
+                // dropped with `collected`; the retry starts fresh.
             }
             unreachable!("attempt loop either breaks with a quorum or returns an error");
         };
 
-        global = Arc::new(fedavg(&weighted));
+        global = Arc::new(agg.finish()?);
         server.load_state_dict(&global);
         metrics.accuracy = server.evaluate(test);
         rounds.push(metrics);
@@ -584,7 +626,7 @@ pub(crate) fn serve<T: ServerTransport>(
 
     Ok(FlRunResult {
         rounds,
-        n_clients: cfg.n_clients,
+        n_clients: cfg.cohort_size(),
         // Every attempt drains its in-flight jobs before returning, so no
         // worker still holds a reference and the unwrap is free; the clone
         // is only a defensive fallback.
@@ -595,23 +637,27 @@ pub(crate) fn serve<T: ServerTransport>(
 
 /// Result of collecting one round attempt.
 struct AttemptOutcome {
-    /// Valid updates in client-id order (aggregation stays deterministic
-    /// regardless of arrival order).
-    updates: Vec<(StateDict, usize)>,
-    /// Number of valid updates.
+    /// The running FedAvg accumulator with every valid update of this
+    /// attempt already folded in — O(model) regardless of cohort size.
+    agg: StreamingFedAvg,
+    /// Number of valid updates folded.
     delivered: usize,
 }
 
-/// Settles ingest outcomes in contiguous submission order.
+/// Settles ingest outcomes in contiguous submission order, folding each
+/// accepted update straight into the streaming FedAvg accumulator.
 ///
 /// Parallel workers finish in arbitrary order, but nothing downstream may
-/// observe that: duplicate-update slot overwrites, the `delivered` count,
-/// and the `f64` metric sums must behave exactly as the serial collector
-/// did, or the same seeds stop producing bit-identical runs. Out-of-order
-/// outcomes are buffered and applied only once every earlier submission has
-/// settled.
+/// observe that: the `delivered` count and the `f64` metric sums must
+/// behave exactly as the serial collector did, or the same seeds stop
+/// producing bit-identical runs (the fold itself is an exact fixed-point
+/// sum, indifferent to order). Out-of-order outcomes are buffered and
+/// applied only once every earlier submission has settled; since the
+/// collector admits at most one submission per client per attempt, the
+/// buffer holds at most the in-flight worker window — the server never
+/// materializes the cohort's updates.
 struct Settle {
-    slots: Vec<Option<(StateDict, usize)>>,
+    agg: StreamingFedAvg,
     delivered: usize,
     rejected: usize,
     quarantined: usize,
@@ -620,9 +666,9 @@ struct Settle {
 }
 
 impl Settle {
-    fn new(n_clients: usize) -> Self {
+    fn new(global: &StateDict) -> Self {
         Self {
-            slots: (0..n_clients).map(|_| None).collect(),
+            agg: StreamingFedAvg::new(global),
             delivered: 0,
             rejected: 0,
             quarantined: 0,
@@ -631,15 +677,16 @@ impl Settle {
         }
     }
 
-    fn push(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) {
+    fn push(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) -> Result<(), FlError> {
         self.buffered.insert(out.seq, out);
         while let Some(out) = self.buffered.remove(&self.next) {
             self.next += 1;
-            self.apply(out, metrics);
+            self.apply(out, metrics)?;
         }
+        Ok(())
     }
 
-    fn apply(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) {
+    fn apply(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) -> Result<(), FlError> {
         // Decompression is timed for every decode attempt — rejected and
         // quarantined payloads cost the server real wall time too.
         metrics.decompress_s_total += out.decompress_s;
@@ -649,14 +696,18 @@ impl Settle {
                 metrics.compress_s_total += out.compress_s;
                 metrics.bytes_on_wire += out.wire_bytes;
                 metrics.bytes_uncompressed += out.raw_bytes;
-                if self.slots[out.client_id].is_none() {
-                    self.delivered += 1;
-                }
-                self.slots[out.client_id] = Some((*sd, out.samples));
+                // Validation upstream guarantees structure and finiteness,
+                // so the only fold failure left is total-weight overflow —
+                // a typed error, never a worker panic.
+                self.agg.fold(&sd, out.samples)?;
+                self.delivered += 1;
+                // `sd` drops here: the update's storage dies as soon as it
+                // is folded in.
             }
             Verdict::Quarantine => self.quarantined += 1,
             Verdict::Reject(_) => self.rejected += 1,
         }
+        Ok(())
     }
 }
 
@@ -668,14 +719,23 @@ impl Settle {
 /// from earlier rounds or attempts are discarded (they were already
 /// accounted when they ran late).
 ///
+/// Admission is **first-wins**: each reached client gets exactly one
+/// submission per attempt, and every later message carrying its id —
+/// a replayed frame, a stuck retry loop, a spoofed duplicate — is
+/// discarded before it is decoded or buffered. That bounds the ingest
+/// pool's queue and the settle buffer by the cohort size no matter how
+/// hard a hostile peer floods the uplink, and it makes the fold count
+/// (hence the aggregate) independent of duplication.
+///
 /// Decode + validate runs on the ingest `pool` while this thread keeps
 /// draining the transport; every payload received before the cutoff is
 /// still decoded (the serial contract — decode work always extended past
-/// the deadline), and outcomes settle in submission order so the result is
-/// bit-identical for any worker count.
+/// the deadline), and outcomes settle in submission order, each accepted
+/// update folding immediately into the streaming aggregate, so the result
+/// is bit-identical for any worker count and the server's update memory
+/// stays O(model).
 #[allow(clippy::too_many_arguments)]
 fn collect_attempt<T: ServerTransport>(
-    cfg: &FlConfig,
     round: usize,
     attempt: usize,
     reached: &[bool],
@@ -684,9 +744,9 @@ fn collect_attempt<T: ServerTransport>(
     global: &Arc<StateDict>,
     pool: &mut IngestPool,
     metrics: &mut RoundMetrics,
-) -> AttemptOutcome {
+) -> Result<AttemptOutcome, FlError> {
     let cutoff = deadline.map(|d| Instant::now() + d);
-    let mut settle = Settle::new(cfg.n_clients);
+    let mut settle = Settle::new(global);
     let mut outstanding = reached.to_vec();
     let mut pending = outstanding.iter().filter(|o| **o).count();
     let expected = pending;
@@ -706,9 +766,21 @@ fn collect_attempt<T: ServerTransport>(
         };
         match msg {
             Uplink::Msg(msg) => {
-                if msg.round != round || msg.attempt != attempt || msg.client_id >= cfg.n_clients {
-                    continue; // stale straggler output (or nonsense id): discard
+                if msg.round != round || msg.attempt != attempt {
+                    continue; // stale straggler output: discard
                 }
+                // First-wins admission: an id outside the broadcast set
+                // (nonsense, out of cohort, or `cfg.n_clients` spoofing)
+                // or one that already submitted this attempt is dropped
+                // here, undecoded.
+                let Some(slot) = outstanding.get_mut(msg.client_id) else {
+                    continue;
+                };
+                if !*slot {
+                    continue;
+                }
+                *slot = false;
+                pending -= 1;
                 let wire_bytes = msg.payload.nbytes();
                 pool.submit(ingest::Job {
                     seq,
@@ -723,7 +795,6 @@ fn collect_attempt<T: ServerTransport>(
                 });
                 seq += 1;
                 in_flight += 1;
-                resolve(&mut outstanding, &mut pending, msg.client_id);
             }
             Uplink::Garbage { client_id } => {
                 // Wire-level rejection (bad CRC / truncated frame): counted
@@ -743,14 +814,14 @@ fn collect_attempt<T: ServerTransport>(
         // the out-of-order buffer stays small.
         while let Some(out) = pool.try_recv() {
             in_flight -= 1;
-            settle.push(out, metrics);
+            settle.push(out, metrics)?;
         }
     }
 
     while in_flight > 0 {
         let out = pool.recv();
         in_flight -= 1;
-        settle.push(out, metrics);
+        settle.push(out, metrics)?;
     }
 
     metrics.faults.rejected += settle.rejected;
@@ -761,10 +832,10 @@ fn collect_attempt<T: ServerTransport>(
     metrics.faults.late +=
         expected.saturating_sub(delivered + settle.rejected + settle.quarantined);
     metrics.faults.delivered = delivered;
-    AttemptOutcome {
-        updates: settle.slots.into_iter().flatten().collect(),
+    Ok(AttemptOutcome {
+        agg: settle.agg,
         delivered,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -17,10 +17,13 @@ use fedsz_tensor::StateDict;
 
 /// Upper bound on a client's declared sample count.
 ///
-/// FedAvg weights are summed in a `usize`; capping each declared count well
-/// below `usize::MAX / plausible client count` keeps the sum from
-/// overflowing even if every client declares the maximum. 2^32 samples is
-/// orders of magnitude beyond any real federated shard.
+/// The streaming aggregator ([`crate::aggregate::StreamingFedAvg`]) keeps
+/// each fold's `mantissa × weight` product exact in a `u64`: a 24-bit f32
+/// mantissa times a weight ≤ 2^32 stays below 2^56. The bound must
+/// therefore not exceed 2^32 (the aggregator `const`-asserts this), and
+/// the running total is summed with `checked_add`, so even 2^32 maximal
+/// clients cannot silently overflow it. 2^32 samples is orders of
+/// magnitude beyond any real federated shard.
 pub const MAX_SAMPLES: usize = 1 << 32;
 
 /// Why a decoded update was refused before aggregation.

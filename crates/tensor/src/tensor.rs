@@ -1,14 +1,12 @@
 //! Dense `f32` tensor with a shape, the unit of everything FedSZ compresses.
 
-use serde::{Deserialize, Serialize};
-
 /// Role a tensor plays inside a model state dictionary.
 ///
 /// The FedSZ partitioning rule (Algorithm 1 in the paper) keys off the
 /// parameter *name*, but carrying the kind explicitly lets the model zoo and
 /// the partitioner cross-check each other and lets experiments report the
 /// lossy/lossless census per kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorKind {
     /// Trainable weight tensor (conv kernels, dense matrices).
     Weight,
@@ -61,7 +59,7 @@ impl TensorKind {
 }
 
 /// A dense tensor of `f32` values with row-major layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,

@@ -226,6 +226,47 @@ fn damaged_newest_checkpoint_falls_back_one_round_and_still_matches() {
 }
 
 #[test]
+fn resumed_sampled_run_replays_the_same_cohorts() {
+    // Cohorts are a pure function of (seed, round), and the sampling inputs
+    // are part of the checkpoint fingerprint — so a killed cross-device run
+    // resumed from disk must draw the exact cohorts the dead server would
+    // have drawn, landing on a bit-identical final model.
+    let rounds = 4;
+    let kill_round = 2;
+    let dir = scratch("sampled");
+    let cfg = FlConfig {
+        population: 12,
+        sample_fraction: 0.4,
+        ..fl_cfg(4, rounds)
+    };
+    let baseline = run_threaded_with(&cfg, &TransportConfig::default()).expect("uninterrupted run");
+
+    let ck = FlConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..cfg.clone()
+    };
+    let err = run_threaded_with(&ck, &kill_at(kill_round)).unwrap_err();
+    assert_eq!(err, FlError::ServerKilled { round: kill_round });
+
+    let resumed = run_threaded_with(
+        &FlConfig {
+            resume: true,
+            ..ck.clone()
+        },
+        &TransportConfig::default(),
+    )
+    .expect("resumed run");
+    assert_eq!(resumed.resumed_from_round, Some(kill_round - 1));
+    assert_no_round_twice(&resumed, rounds);
+    assert_eq!(accuracies(&resumed), accuracies(&baseline));
+    assert_eq!(
+        resumed.final_model, baseline.final_model,
+        "resumed sampled run diverged from the uninterrupted cohorts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn checkpoint_every_k_writes_the_expected_files_and_always_the_last_round() {
     let dir = scratch("every");
     let cfg = FlConfig {

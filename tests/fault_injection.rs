@@ -363,6 +363,56 @@ fn parallel_ingest_is_bit_identical_to_serial_under_faults() {
 }
 
 #[test]
+fn replayed_updates_are_discarded_first_wins() {
+    // Client 2 sends its (valid) round-1 update eight times. First-wins
+    // admission folds the first copy and discards the byte-identical
+    // replays undecoded, so the run is indistinguishable from a clean one:
+    // same bits, same bytes, clean fault counters.
+    let cfg = fl_cfg(4, 3);
+    let clean = run_threaded_with(&cfg, &TransportConfig::default()).expect("clean run");
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().replay(2, 1, 7),
+        ..TransportConfig::default()
+    };
+    let replayed = run_threaded_with(&cfg, &tcfg).expect("replayed run");
+    assert_eq!(replayed.final_model, clean.final_model);
+    for (c, r) in clean.rounds.iter().zip(&replayed.rounds) {
+        assert!(r.faults.is_clean(), "round {}: {:?}", r.round, r.faults);
+        assert_eq!(r.accuracy, c.accuracy);
+        assert_eq!(r.bytes_on_wire, c.bytes_on_wire);
+    }
+}
+
+#[test]
+fn sampled_rounds_under_faults_are_bit_identical_across_worker_counts() {
+    // Cross-device sampling with hostile traffic in flight: whichever
+    // cohort members the faults hit, serial and parallel ingest must land
+    // on the same bits with the same accounting.
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().corrupt(1, 1).non_finite(2, 1),
+        ..TransportConfig::default()
+    };
+    let mut base = fl_cfg(4, 3);
+    base.population = 8;
+    base.sample_fraction = 0.5;
+    base.ingest_workers = 0;
+    let serial = run_threaded_with(&base, &tcfg).expect("serial run");
+    for workers in [1usize, 4, 8] {
+        let mut cfg = base.clone();
+        cfg.ingest_workers = workers;
+        let parallel = run_threaded_with(&cfg, &tcfg).expect("parallel run");
+        assert_eq!(
+            parallel.final_model, serial.final_model,
+            "workers={workers}"
+        );
+        for (s, p) in serial.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(p.accuracy, s.accuracy, "workers={workers}");
+            assert_eq!(p.faults, s.faults, "workers={workers}");
+        }
+    }
+}
+
+#[test]
 fn combined_faults_complete_all_rounds_with_exact_accounting() {
     // The acceptance scenario: one corrupt update, one dead client, and one
     // straggler in a single run. Every round completes without panic or

@@ -48,6 +48,76 @@ fn in_process_parallel_ingest_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn sampled_cohorts_agree_across_transports_and_worker_counts() {
+    // Cross-device sampling: 3 of 10 registered clients participate per
+    // round, drawn deterministically from the run seed. Every transport and
+    // every ingest worker count must sample the same cohorts and land on the
+    // same bits.
+    let cfg = FlConfig {
+        dataset: fedsz_dnn::DatasetKind::FashionMnistLike,
+        n_clients: 4,
+        rounds: 3,
+        samples_per_client: 32,
+        test_samples: 48,
+        batch_size: 16,
+        population: 10,
+        sample_fraction: 0.3,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        seed: 7,
+        ..FlConfig::default()
+    };
+    let sequential = fedsz_fl::run(&cfg).expect("in-process run");
+    assert_eq!(sequential.n_clients, 3, "cohort size");
+
+    let threaded = fedsz_fl::run_threaded(&cfg).expect("threaded run");
+    assert_eq!(threaded.final_model, sequential.final_model, "channel");
+    let tcp = fedsz_fl::run_tcp(&cfg).expect("tcp run");
+    assert_eq!(tcp.final_model, sequential.final_model, "tcp");
+
+    for workers in [1usize, 4, 8] {
+        let parallel = fedsz_fl::run(&FlConfig {
+            ingest_workers: workers,
+            ..cfg.clone()
+        })
+        .expect("parallel run");
+        assert_eq!(
+            parallel.final_model, sequential.final_model,
+            "workers={workers}"
+        );
+        for (s, p) in sequential.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(p.accuracy, s.accuracy, "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn full_coverage_sampling_is_bit_identical_to_cross_silo() {
+    // `population == n_clients` at fraction 1.0 short-circuits to the
+    // cross-silo cohort without touching the sampling RNG, so turning the
+    // feature "on" at full coverage must not move a single bit.
+    let base = FlConfig {
+        rounds: 2,
+        samples_per_client: 32,
+        test_samples: 48,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        ..FlConfig::default()
+    };
+    let cross_silo = fedsz_fl::run(&base).expect("cross-silo run");
+    let sampled = fedsz_fl::run(&FlConfig {
+        population: base.n_clients,
+        sample_fraction: 1.0,
+        ..base.clone()
+    })
+    .expect("full-coverage run");
+    assert_eq!(sampled.final_model, cross_silo.final_model);
+    assert_eq!(sampled.n_clients, cross_silo.n_clients);
+    for (a, b) in cross_silo.rounds.iter().zip(&sampled.rounds) {
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.bytes_on_wire, b.bytes_on_wire);
+    }
+}
+
+#[test]
 fn fedsz_cuts_wire_bytes_by_the_papers_factor() {
     let cfg = FlConfig {
         compression: FlConfig::with_fedsz(1e-2).compression,

@@ -126,7 +126,7 @@ proptest! {
             sd.insert("w.weight", TensorKind::Weight, Tensor::from_vec(v.to_vec()));
             sd
         };
-        let agg = fedsz_fl::fedavg(&[(mk(&a), wa), (mk(&b), wb)]);
+        let agg = fedsz_fl::fedavg(&[(mk(&a), wa), (mk(&b), wb)]).unwrap();
         let out = agg.get("w.weight").unwrap().data();
         for i in 0..32 {
             let lo = a[i].min(b[i]) - 1e-4;

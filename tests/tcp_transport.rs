@@ -237,6 +237,28 @@ fn parallel_ingest_over_tcp_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn replayed_tcp_frames_are_discarded_first_wins() {
+    // Client 1 writes its round-1 update frame six times onto the socket.
+    // Each copy carries a valid CRC and would decode cleanly; first-wins
+    // admission folds the first and drops the rest without decoding, so the
+    // run is byte-for-byte a clean run — the aggregate is not skewed toward
+    // the replayer and no fault counter moves.
+    let cfg = fl_cfg(4, 3);
+    let clean = run_tcp_with(&cfg, &backstop(), &fast_net()).expect("clean run");
+    let tcfg = TransportConfig {
+        faults: FaultPlan::new().replay(1, 1, 5),
+        ..backstop()
+    };
+    let replayed = run_tcp_with(&cfg, &tcfg, &fast_net()).expect("replayed run");
+    assert_eq!(replayed.final_model, clean.final_model);
+    assert_eq!(per_round(&replayed), per_round(&clean));
+    for (c, r) in clean.rounds.iter().zip(&replayed.rounds) {
+        assert!(r.faults.is_clean(), "round {}: {:?}", r.round, r.faults);
+        assert_eq!(r.accuracy, c.accuracy);
+    }
+}
+
+#[test]
 fn quorum_not_met_over_tcp_is_a_typed_error() {
     let tcfg = TransportConfig {
         min_quorum: 2,

@@ -1,0 +1,227 @@
+//! Drop-in stand-in for the subset of
+//! [criterion](https://docs.rs/criterion) this workspace's benches use,
+//! for hermetic offline builds (no crates.io access; see the workspace
+//! manifest).
+//!
+//! Implements `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs a
+//! fixed warm-up iteration plus `sample_size` timed iterations and prints
+//! the median wall time (with derived throughput when declared) — enough
+//! to run `cargo bench` and keep `--all-targets` builds honest, without
+//! criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's two-part id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id, for groups whose name already carries the rest.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_owned(),
+        }
+    }
+}
+
+/// Work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` once for warm-up, then `sample_size` measured times.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Number of measured iterations per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Run a benchmark with an explicit input handle.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_bench(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// End the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        println!("{label}: no samples (iter was never called)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let secs = median.as_secs_f64();
+    match throughput {
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            let mibps = n as f64 / secs / (1024.0 * 1024.0);
+            println!("{label}: median {median:?} ({mibps:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            let eps = n as f64 / secs;
+            println!("{label}: median {median:?} ({eps:.0} elem/s)");
+        }
+        _ => println!("{label}: median {median:?}"),
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.into().label, 10, None, f);
+    }
+}
+
+/// Group benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("sum", "1k"), &1024u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter("plain"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        b.iter(|| 42u32);
+        assert_eq!(b.samples.len(), 5);
+    }
+}

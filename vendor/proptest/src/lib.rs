@@ -1,0 +1,324 @@
+//! Drop-in stand-in for the subset of
+//! [proptest](https://docs.rs/proptest) this workspace's property tests
+//! use, for hermetic offline builds (no crates.io access; see the
+//! workspace manifest).
+//!
+//! Implements the `proptest!` macro (with the optional
+//! `#![proptest_config(...)]` header), `any::<T>()` for the primitive
+//! types the tests draw, numeric range strategies,
+//! `proptest::collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//! Each test runs `cases` iterations drawing inputs from a
+//! deterministically seeded generator (FNV-1a of the test name — no
+//! ambient entropy, so failures reproduce exactly). There is no
+//! shrinking: a failing case panics with the assertion's own message,
+//! which is acceptable for a CI gate.
+
+/// Deterministic 64-bit generator (SplitMix64) behind every strategy.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator; the `proptest!` macro seeds from the test name.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift reduction; the bias is ~n/2^64, irrelevant for
+        // test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// How test inputs are drawn; the stand-in for proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full-range strategy for primitive `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-range strategy for the primitive types the tests draw.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),+) => {
+        $(impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_int {
+    ($($t:ty),+) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        })+
+    };
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),+) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + ((self.end - self.start) as f64 * rng.unit_f64()) as $t
+            }
+        })+
+    };
+}
+range_float!(f32, f64);
+
+/// Always-`value` strategy, proptest's `Just`.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count bounds for [`vec`]: an exact count or a half-open
+    /// range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with the given element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Draw vectors whose length falls in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each test in the block `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Seed a test's generator from its name (FNV-1a 64) — deterministic,
+/// no ambient entropy.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// `assert!` under a property: panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under a property: panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` drawing `cases` inputs from a deterministic
+/// generator seeded by the test's name.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test fn in a `proptest!` block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for _case in 0..cfg.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::seed_from_name;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(1usize..200), &mut rng);
+            assert!((1..200).contains(&x));
+            let y = Strategy::generate(&(-6i32..0), &mut rng);
+            assert!((-6..0).contains(&y));
+            let f = Strategy::generate(&(-1000.0f32..1000.0), &mut rng);
+            assert!((-1000.0..1000.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(any::<u8>(), 0..4096), &mut rng);
+            assert!(v.len() < 4096);
+            let exact = Strategy::generate(&collection::vec(-1.0f32..1.0, 32), &mut rng);
+            assert_eq!(exact.len(), 32);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TestRng::new(seed_from_name("t"));
+        let mut b = TestRng::new(seed_from_name("t"));
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(
+            TestRng::new(seed_from_name("t")).next_u64(),
+            TestRng::new(seed_from_name("u")).next_u64()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_and_asserts(
+            mut xs in collection::vec(any::<u8>(), 1..64),
+            k in 1usize..10,
+        ) {
+            xs.push(k as u8);
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(xs.last().copied(), Some(k as u8), "k={}", k);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Drop-in stand-in for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses, for hermetic offline builds.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *API surface* of its external dependencies as local path
+//! crates (see the workspace `[workspace.dependencies]` table). This crate
+//! provides `par_iter`, `par_iter_mut`, `par_chunks`, and `into_par_iter`
+//! as thin wrappers over the corresponding sequential `std` iterators.
+//!
+//! Sequential execution is a *correct* implementation of the rayon
+//! contract for this codebase: every parallel loop in the workspace is
+//! written to be bit-identical for any thread count (per-entry
+//! parallelism with per-element sequential order, or order-independent
+//! accumulation), so the only observable difference is wall time — and the
+//! reference benchmark box is single-core, where rayon degenerates to a
+//! sequential loop anyway. Swapping the real rayon back in is a one-line
+//! change in the workspace manifest.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges.
+    ///
+    /// Blanket impl over [`IntoIterator`], mirroring rayon's
+    /// `IntoParallelIterator` for the types the workspace feeds it
+    /// (`Range<usize>`, `Vec<T>`).
+    pub trait IntoParallelIterator {
+        /// Sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Element type.
+        type Item;
+        /// Iterate (sequentially) over `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
+    pub trait ParallelSlice<T> {
+        /// Shared iteration, rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Chunked iteration, rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut()` on slices (and `Vec` via deref).
+    pub trait ParallelSliceMut<T> {
+        /// Exclusive iteration, rayon's `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunks_zip_enumerate_compose() {
+        let v: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+        let mut out = vec![0u32; 4];
+        out.par_iter_mut()
+            .zip(sums.par_iter())
+            .enumerate()
+            .for_each(|(i, (o, s))| *o = s + i as u32);
+        assert_eq!(out, vec![3, 13, 23, 12]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let r: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(r, vec![0, 1, 4, 9]);
+        let owned: Result<Vec<usize>, ()> = vec![1usize, 2].into_par_iter().map(Ok).collect();
+        assert_eq!(owned, Ok(vec![1, 2]));
+    }
+}
