@@ -77,6 +77,7 @@ fn run_round(pool: &mut IngestPool, cell: &Cell) -> f64 {
             compress_s: 0.0,
             raw_bytes: 0,
             wire_bytes: payload.nbytes(),
+            reserved: 0,
             global: Arc::clone(&cell.global),
         });
     }
@@ -105,7 +106,7 @@ fn measure_cell(cell: &Cell, worker_counts: &[usize], reps: usize) -> Vec<Measur
     worker_counts
         .iter()
         .map(|&workers| {
-            let mut pool = IngestPool::new(workers);
+            let mut pool = IngestPool::new(workers, cell.payloads.len());
             // One untimed warm-up round fills caches and parks the workers
             // on their channels before measurement starts.
             run_round(&mut pool, cell);

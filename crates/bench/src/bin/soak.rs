@@ -1,0 +1,359 @@
+//! Deterministic chaos-soak harness for the overload-safe server: N seeded
+//! rounds under combined faults — oversized floods, slow drips, wedged
+//! connections, poisoned and corrupt updates — asserting that every
+//! transport and every ingest worker count produces the **bit-identical**
+//! final model and the **exact same** shed / quarantined / rejected / late
+//! counters, with zero panics.
+//!
+//! Two tiers:
+//!
+//! * **parity** — a cross-device config (sampled cohorts) with a chaos
+//!   fault plan derived from the per-round cohorts, run over the matrix
+//!   {in-process, channel, tcp} × ingest workers. The first run is the
+//!   baseline; every other cell must match its final model, accuracies,
+//!   and per-round fault counters exactly. The baseline itself must match
+//!   the counters the plan predicts, so the sheds provably happened.
+//! * **scale** — the same chaos plan against 10 000 registered clients
+//!   (cohort 16) with an ingest budget of 2× the model size, on the
+//!   channel transport cross-checked bit-for-bit against in-process.
+//!   Resident-set growth must stay within budget + O(model) + O(threads).
+//!   TCP is excluded at this tier only because every TCP client is a real
+//!   socket-owning OS thread that derives the full shard set — 10 000 of
+//!   them is a test of the host, not the server; the tcp path is covered
+//!   by the parity matrix above.
+//!
+//! Results go to stdout and to `--out` (default `BENCH_soak.json`) as
+//! JSON, including `available_parallelism` and `VmHWM`.
+//!
+//! Run: `cargo run -p fedsz-bench --release --bin soak [--smoke]
+//!       [--population N] [--out BENCH_soak.json]`
+
+use std::time::{Duration, Instant};
+
+use fedsz::FaultCounters;
+use fedsz_bench::Args;
+use fedsz_fl::{FaultPlan, FlConfig, FlRunResult, NetConfig, TransportConfig};
+
+/// `VmRSS` / `VmHWM` in kB from `/proc/self/status` (0 if unavailable).
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// State-dict size of the model `cfg` builds — the reference for the
+/// ingest budget (the same derivation the server uses).
+fn model_bytes(cfg: &FlConfig) -> usize {
+    let (c, h, _, classes) = cfg.dataset.dims();
+    cfg.arch
+        .build(c, h, classes, cfg.seed)
+        .state_dict()
+        .nbytes()
+}
+
+/// Hold duration for wedged connections: comfortably past the wire rate
+/// grace so a rate-enforcing server sheds before the client lets go.
+const HOLD: Duration = Duration::from_millis(600);
+
+/// Minimum uplink byte rate the TCP runs enforce. Loopback sustains many
+/// orders of magnitude more; only the deliberate tricklers fall below it.
+const MIN_BYTE_RATE: u64 = 1024;
+
+/// Derive the chaos plan from the per-round cohorts: each round's first
+/// cohort member stays honest (quorum), the next six slots get one fault
+/// kind each. Returns the plan and the exact per-round counters it
+/// predicts on every transport.
+fn chaos_plan(cfg: &FlConfig, flood_bytes: usize) -> (FaultPlan, Vec<FaultCounters>) {
+    let mut plan = FaultPlan::new();
+    let mut expected = Vec::with_capacity(cfg.rounds);
+    for round in 0..cfg.rounds {
+        let mut want = FaultCounters::default();
+        for (slot, &client) in cfg.cohort_for_round(round).iter().enumerate() {
+            match slot {
+                1 => {
+                    plan = plan.flood_oversized(client, round, flood_bytes);
+                    want.shed += 1;
+                }
+                2 => {
+                    plan = plan.non_finite(client, round);
+                    want.quarantined += 1;
+                }
+                3 => {
+                    plan = plan.corrupt(client, round);
+                    want.rejected += 1;
+                }
+                4 => {
+                    plan = plan.slow_drip(client, round);
+                    want.shed += 1;
+                }
+                5 => {
+                    plan = plan.hold_connection(client, round, HOLD);
+                    want.shed += 1;
+                }
+                6 => {
+                    plan = plan.wrong_shape(client, round);
+                    want.quarantined += 1;
+                }
+                _ => want.delivered += 1,
+            }
+        }
+        expected.push(want);
+    }
+    (plan, expected)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    InProcess,
+    Channel,
+    Tcp,
+}
+
+impl Transport {
+    fn name(self) -> &'static str {
+        match self {
+            Transport::InProcess => "in-process",
+            Transport::Channel => "channel",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+fn run_one(cfg: &FlConfig, plan: &FaultPlan, transport: Transport) -> FlRunResult {
+    match transport {
+        Transport::InProcess => fedsz_fl::run_with_faults(cfg, plan).expect("in-process soak run"),
+        Transport::Channel => {
+            let tcfg = TransportConfig {
+                faults: plan.clone(),
+                ..TransportConfig::default()
+            };
+            fedsz_fl::run_threaded_with(cfg, &tcfg).expect("channel soak run")
+        }
+        Transport::Tcp => {
+            let tcfg = TransportConfig {
+                faults: plan.clone(),
+                ..TransportConfig::default()
+            };
+            let ncfg = NetConfig {
+                min_byte_rate: MIN_BYTE_RATE,
+                ..NetConfig::default()
+            };
+            fedsz_fl::run_tcp_with(cfg, &tcfg, &ncfg).expect("tcp soak run")
+        }
+    }
+}
+
+/// Assert `got` is bit-identical to `baseline`: final model, per-round
+/// accuracies, and per-round fault counters.
+fn assert_identical(label: &str, baseline: &FlRunResult, got: &FlRunResult) {
+    assert_eq!(
+        baseline.final_model, got.final_model,
+        "{label}: final model diverged from baseline"
+    );
+    assert_eq!(baseline.rounds.len(), got.rounds.len(), "{label}: rounds");
+    for (b, g) in baseline.rounds.iter().zip(&got.rounds) {
+        assert!(
+            b.accuracy == g.accuracy,
+            "{label}: round {} accuracy {} != {}",
+            b.round,
+            b.accuracy,
+            g.accuracy
+        );
+        assert_eq!(
+            b.faults, g.faults,
+            "{label}: round {} fault counters diverged",
+            b.round
+        );
+    }
+}
+
+struct Cell {
+    transport: &'static str,
+    workers: usize,
+    seconds: f64,
+    shed: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("--smoke");
+    let out: String = args.value("--out", "BENCH_soak.json".to_string());
+    let scale_population: usize = args.value("--population", if smoke { 1_000 } else { 10_000 });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# chaos-soak: overload-safe server determinism ({cores} cores available)");
+
+    // ---- parity tier -----------------------------------------------------
+    // Cohorts large enough that every fault kind fires each round, small
+    // enough that the tcp matrix stays quick.
+    let (population, fraction, rounds) = if smoke {
+        (24usize, 8.0 / 24.0, 2usize)
+    } else {
+        (64usize, 16.0 / 64.0, 3usize)
+    };
+    let base_cfg = FlConfig {
+        n_clients: 4,
+        population,
+        sample_fraction: fraction,
+        rounds,
+        samples_per_client: 4,
+        test_samples: 16,
+        batch_size: 2,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        seed: 42,
+        ..FlConfig::default()
+    };
+    let model = model_bytes(&base_cfg);
+    let budget = model * 2;
+    // Over the whole budget, so the flood sheds at the frame header on
+    // every transport no matter what else is in flight.
+    let flood = model * 4;
+    let (plan, expected) = chaos_plan(&base_cfg, flood);
+    let worker_counts: &[usize] = if smoke { &[0, 2] } else { &[1, 4, 8] };
+    let transports = [Transport::InProcess, Transport::Channel, Transport::Tcp];
+
+    let mut baseline: Option<FlRunResult> = None;
+    let mut cells: Vec<Cell> = Vec::new();
+    for &transport in &transports {
+        for &workers in worker_counts {
+            let cfg = FlConfig {
+                ingest_workers: workers,
+                ingest_budget_bytes: Some(budget),
+                ..base_cfg.clone()
+            };
+            let t0 = Instant::now();
+            let result = run_one(&cfg, &plan, transport);
+            let seconds = t0.elapsed().as_secs_f64();
+            let shed: usize = result.rounds.iter().map(|r| r.faults.shed).sum();
+            println!(
+                "parity: {} x {} workers: {:.2}s, {} shed, accuracy {:.3}",
+                transport.name(),
+                workers,
+                seconds,
+                shed,
+                result.final_accuracy()
+            );
+            match &baseline {
+                None => {
+                    // The baseline must realize exactly the counters the
+                    // plan predicts — sheds included — or the whole matrix
+                    // would vacuously agree on the wrong behavior.
+                    for (r, want) in result.rounds.iter().zip(&expected) {
+                        assert_eq!(
+                            r.faults, *want,
+                            "baseline round {} diverged from the plan's prediction",
+                            r.round
+                        );
+                    }
+                    baseline = Some(result);
+                }
+                Some(b) => {
+                    let label = format!("{} x {} workers", transport.name(), workers);
+                    assert_identical(&label, b, &result);
+                }
+            }
+            cells.push(Cell {
+                transport: transport.name(),
+                workers,
+                seconds,
+                shed,
+            });
+        }
+    }
+    let parity_shed = cells.first().map_or(0, |c| c.shed);
+    println!("parity: all {} cells bit-identical", cells.len());
+
+    // ---- scale tier ------------------------------------------------------
+    let scale_cfg = FlConfig {
+        dataset: fedsz_dnn::DatasetKind::FashionMnistLike,
+        n_clients: 4,
+        population: scale_population,
+        sample_fraction: 16.0 / scale_population as f64,
+        rounds: 1,
+        samples_per_client: 2,
+        test_samples: 16,
+        batch_size: 2,
+        compression: FlConfig::with_fedsz(1e-2).compression,
+        seed: 42,
+        ..FlConfig::default()
+    };
+    let scale_model = model_bytes(&scale_cfg);
+    let scale_budget = scale_model * 2;
+    let (scale_plan, _) = chaos_plan(&scale_cfg, scale_model * 4);
+    let cohort = scale_cfg.cohort_size();
+
+    let inproc = run_one(
+        &FlConfig {
+            ingest_workers: if smoke { 2 } else { 4 },
+            ingest_budget_bytes: Some(scale_budget),
+            ..scale_cfg.clone()
+        },
+        &scale_plan,
+        Transport::InProcess,
+    );
+
+    let rss_before_kb = proc_status_kb("VmRSS");
+    let t0 = Instant::now();
+    let channel = run_one(
+        &FlConfig {
+            ingest_workers: if smoke { 2 } else { 4 },
+            ingest_budget_bytes: Some(scale_budget),
+            ..scale_cfg
+        },
+        &scale_plan,
+        Transport::Channel,
+    );
+    let scale_seconds = t0.elapsed().as_secs_f64();
+    let rss_after_kb = proc_status_kb("VmRSS");
+    assert_identical("scale channel vs in-process", &inproc, &channel);
+    let scale_shed: usize = channel.rounds.iter().map(|r| r.faults.shed).sum();
+    assert!(scale_shed > 0, "scale tier shed nothing — chaos plan inert");
+
+    // Budget + O(model) + O(threads): the ledger caps admitted frame
+    // bytes at `scale_budget`; the accumulator, broadcast, and scratch
+    // buffers are a few models; each registered client thread touches a
+    // few stack pages.
+    let grown = rss_after_kb.saturating_sub(rss_before_kb) * 1024;
+    let bound =
+        (scale_budget + scale_model * 8 + (1 << 26)) as u64 + scale_population as u64 * (64 << 10);
+    assert!(
+        grown < bound,
+        "scale round grew RSS by {grown} B (bound {bound} B) — not budget + O(model)"
+    );
+    println!(
+        "scale: cohort {cohort} of {scale_population} registered, budget {scale_budget} B: \
+         {scale_seconds:.2}s, {scale_shed} shed, rss {rss_before_kb} -> {rss_after_kb} kB \
+         (vm_hwm {} kB)",
+        proc_status_kb("VmHWM")
+    );
+
+    // ---- report ----------------------------------------------------------
+    let cells_json: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"transport\": \"{}\", \"ingest_workers\": {}, \"seconds\": {:.4}, \"shed\": {}}}",
+                c.transport, c.workers, c.seconds, c.shed
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"soak\",\n  \"available_parallelism\": {cores},\n  \"smoke\": {smoke},\n\
+         \n  \"parity\": {{\n    \"population\": {population}, \"rounds\": {rounds},\n    \
+         \"budget_bytes\": {budget}, \"model_bytes\": {model},\n    \
+         \"shed_per_run\": {parity_shed}, \"bit_identical\": true,\n    \"cells\": [\n{}\n    ]\n  }},\n\
+         \n  \"scale\": {{\n    \"population\": {scale_population}, \"cohort\": {cohort},\n    \
+         \"budget_bytes\": {scale_budget}, \"model_bytes\": {scale_model},\n    \
+         \"shed\": {scale_shed}, \"seconds\": {scale_seconds:.4},\n    \
+         \"rss_before_kb\": {rss_before_kb}, \"rss_after_kb\": {rss_after_kb}, \"vm_hwm_kb\": {}\n  }}\n}}\n",
+        cells_json.join(",\n"),
+        proc_status_kb("VmHWM"),
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("\nwrote {out}");
+}

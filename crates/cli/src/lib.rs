@@ -70,6 +70,7 @@ fn classify_fl(e: FlError) -> CliError {
     match e {
         FlError::Codec(inner) => classify_codec("update", inner),
         e @ (FlError::QuorumNotMet { .. }
+        | FlError::Overloaded { .. }
         | FlError::AllClientsDead { .. }
         | FlError::ServerKilled { .. }) => CliError::Run(e.to_string()),
         FlError::Transport(m) => CliError::Run(format!("transport error: {m}")),
@@ -327,6 +328,17 @@ pub struct FlOpts {
     /// concurrently (0 = serial; `None` = one per available core). Any
     /// value yields a bit-identical run — only wall time changes.
     pub ingest_workers: Option<usize>,
+    /// Server-side ingest memory budget in bytes: admitted-but-unsettled
+    /// update frames may hold at most this much at once, and a frame that
+    /// could never fit is shed. `None` = auto (a small multiple of the
+    /// model size); `Some(0)` disables budgeting.
+    pub ingest_budget_bytes: Option<usize>,
+    /// Minimum uplink byte rate (bytes/second) a TCP connection must hold
+    /// mid-frame; slower peers are shed. 0 disables enforcement.
+    pub min_byte_rate: u64,
+    /// TCP handshake deadline in milliseconds: a fresh connection must
+    /// complete its Hello within this window.
+    pub handshake_timeout_ms: u64,
 }
 
 impl Default for FlOpts {
@@ -353,6 +365,9 @@ impl Default for FlOpts {
             checkpoint_every: 1,
             resume: false,
             ingest_workers: None,
+            ingest_budget_bytes: None,
+            min_byte_rate: 0,
+            handshake_timeout_ms: 5000,
         }
     }
 }
@@ -444,6 +459,11 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             opts.ingest_workers.unwrap_or_default()
         )));
     }
+    if opts.handshake_timeout_ms == 0 {
+        return Err(CliError::Usage(
+            "--handshake-timeout-ms must be at least 1".into(),
+        ));
+    }
     let ingest_workers = opts
         .ingest_workers
         .unwrap_or_else(fedsz_fl::ingest::default_workers);
@@ -462,6 +482,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         checkpoint_every: opts.checkpoint_every,
         resume: opts.resume,
         ingest_workers,
+        ingest_budget_bytes: opts.ingest_budget_bytes,
         ..FlConfig::default()
     };
     let idle = opts.idle_timeout_ms.map(Duration::from_millis);
@@ -475,6 +496,8 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let ncfg = NetConfig {
         backoff_base: Duration::from_millis(opts.backoff_base_ms),
         backoff_max: Duration::from_millis(opts.backoff_max_ms),
+        handshake_timeout: Duration::from_millis(opts.handshake_timeout_ms),
+        min_byte_rate: opts.min_byte_rate,
         ..NetConfig::default()
     };
 
@@ -525,7 +548,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     }
     let _ = writeln!(
         out,
-        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>11} {:>5} {:>8}",
+        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>11} {:>5} {:>5} {:>8}",
         "round",
         "accuracy",
         "ratio",
@@ -534,13 +557,14 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
         "delivered",
         "rejected",
         "quarantined",
+        "shed",
         "late",
         "dropped"
     );
     for r in &result.rounds {
         let _ = writeln!(
             out,
-            "{:>5} {:>8.1}% {:>7.2}x {:>8.1} {:>8.1} {:>9} {:>9} {:>11} {:>5} {:>8}",
+            "{:>5} {:>8.1}% {:>7.2}x {:>8.1} {:>8.1} {:>9} {:>9} {:>11} {:>5} {:>5} {:>8}",
             r.round,
             100.0 * r.accuracy,
             r.compression_ratio(),
@@ -549,6 +573,7 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
             r.faults.delivered,
             r.faults.rejected,
             r.faults.quarantined,
+            r.faults.shed,
             r.faults.late,
             r.faults.dropped
         );
@@ -557,13 +582,14 @@ pub fn cmd_fl(opts: &FlOpts) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "final accuracy {:.1}%; wire: {:.1} kB up, {:.1} kB down; \
-         participation: {} delivered, {} rejected, {} quarantined, {} late, {} dropped",
+         participation: {} delivered, {} rejected, {} quarantined, {} shed, {} late, {} dropped",
         100.0 * result.final_accuracy(),
         result.total_bytes_up() as f64 / 1e3,
         result.total_bytes_down() as f64 / 1e3,
         f.delivered,
         f.rejected,
         f.quarantined,
+        f.shed,
         f.late,
         f.dropped
     );
@@ -666,6 +692,7 @@ mod tests {
         assert!(report.contains("threaded transport"), "{report}");
         assert!(report.contains("ingest: 2 workers"), "{report}");
         assert!(report.contains("delivered"), "{report}");
+        assert!(report.contains("shed"), "{report}");
         assert!(report.contains("final accuracy"), "{report}");
         assert!(report.contains("down_kB"), "{report}");
         // Two round rows, one per round index.
@@ -673,6 +700,25 @@ mod tests {
             report.contains("\n    0 ") && report.contains("\n    1 "),
             "{report}"
         );
+    }
+
+    #[test]
+    fn fl_starved_ingest_budget_reports_overloaded() {
+        // A 1-byte ingest budget sheds every update; the run fails with
+        // the overload error, not a generic quorum message.
+        let err = cmd_fl(&FlOpts {
+            rounds: 1,
+            clients: 2,
+            samples: 16,
+            transport: FlTransport::Threaded,
+            ingest_budget_bytes: Some(1),
+            ..FlOpts::default()
+        })
+        .unwrap_err();
+        match err {
+            CliError::Run(m) => assert!(m.contains("overloaded"), "{m}"),
+            _ => panic!("expected a Run error"),
+        }
     }
 
     #[test]
@@ -753,6 +799,14 @@ mod tests {
         assert!(matches!(
             cmd_fl(&FlOpts {
                 ingest_workers: Some(4096),
+                ..FlOpts::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        // A zero handshake deadline would reject every connection.
+        assert!(matches!(
+            cmd_fl(&FlOpts {
+                handshake_timeout_ms: 0,
                 ..FlOpts::default()
             }),
             Err(CliError::Usage(_))

@@ -14,7 +14,8 @@
 //!                       [--listen HOST:PORT | --connect HOST:PORT --client-id N]
 //!                       [--backoff-base-ms B] [--backoff-max-ms M]
 //!                       [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
-//!                       [--ingest-workers N]
+//!                       [--ingest-workers N] [--ingest-budget-bytes B]
+//!                       [--min-byte-rate R] [--handshake-timeout-ms H]
 //! ```
 //!
 //! `--threaded` is a legacy alias for `--transport threaded`. With
@@ -136,6 +137,10 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<String, CliError> {
                 checkpoint_every: opts.parsed_or("--checkpoint-every", defaults.checkpoint_every)?,
                 resume: opts.flag("--resume"),
                 ingest_workers: opts.parsed_opt("--ingest-workers")?,
+                ingest_budget_bytes: opts.parsed_opt("--ingest-budget-bytes")?,
+                min_byte_rate: opts.parsed_or("--min-byte-rate", defaults.min_byte_rate)?,
+                handshake_timeout_ms: opts
+                    .parsed_or("--handshake-timeout-ms", defaults.handshake_timeout_ms)?,
             };
             cmd_fl(&fl)
         }

@@ -30,10 +30,10 @@ impl EntryStats {
 ///
 /// A fault-tolerant server aggregates over whichever subset of clients
 /// delivered a valid update in time; these counters make the degradation
-/// observable round by round. `delivered + rejected + quarantined + late`
-/// equals the number of clients the round expected an answer from, and
-/// `dropped` counts clients excluded up front because their channel was
-/// already gone.
+/// observable round by round. The sum of `delivered`, `rejected`,
+/// `quarantined`, `shed`, and `late` equals the number of clients the
+/// round expected an answer from, and `dropped` counts clients excluded
+/// up front because their channel was already gone.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Clients whose valid update made it into the aggregate.
@@ -44,6 +44,11 @@ pub struct FaultCounters {
     /// validation before aggregation (non-finite tensors, wrong shapes,
     /// hostile sample counts).
     pub quarantined: usize,
+    /// Clients whose update was refused by overload protection before its
+    /// body was buffered or decoded: the announced frame exceeded the
+    /// round's ingest budget, or the connection fell below the minimum
+    /// byte rate mid-frame.
+    pub shed: usize,
     /// Clients that missed the round deadline (stragglers and clients that
     /// died mid-round without closing their channel in time).
     pub late: usize,
@@ -63,7 +68,7 @@ impl FaultCounters {
 
     /// Clients that did not contribute to the aggregate this round.
     pub fn failed(&self) -> usize {
-        self.rejected + self.quarantined + self.late + self.dropped
+        self.rejected + self.quarantined + self.shed + self.late + self.dropped
     }
 
     /// Clients the round was configured with (participants plus exclusions).
@@ -159,6 +164,19 @@ mod tests {
         let s = sample();
         assert_eq!(s.partition_bytes(Route::Lossy), (1000, 100));
         assert_eq!(s.partition_bytes(Route::Lossless), (40, 35));
+    }
+
+    #[test]
+    fn shed_counts_as_failure() {
+        let f = FaultCounters {
+            delivered: 3,
+            shed: 2,
+            ..FaultCounters::default()
+        };
+        assert_eq!(f.failed(), 2);
+        assert_eq!(f.population(), 5);
+        assert!(!f.is_clean());
+        assert!(FaultCounters::full(4).is_clean());
     }
 
     #[test]

@@ -13,12 +13,12 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       4     magic "FCP1"
+//! 0       4     magic "FCP2"
 //! 4       8     config fingerprint (FNV-1a 64 over the trajectory fields)
 //! 12      8     last completed round index
 //! 20      8     number of accumulated metrics rows (= round + 1)
 //! 28      …     rows: round, accuracy, train_s, compress_s, decompress_s,
-//!               bytes up/down/uncompressed, five fault counters
+//!               bytes up/down/uncompressed, six fault counters
 //!               (u64 / f64-as-bits, little-endian)
 //! …       8+n   global model: u64 byte length + `StateDict::to_bytes`
 //! end-4   4     CRC-32 (IEEE) over bytes 4..end-4
@@ -45,14 +45,16 @@ use fedsz_tensor::StateDict;
 use crate::error::FlError;
 use crate::session::{FlConfig, RoundMetrics};
 
-/// Checkpoint magic: "FCP" + format version 1.
-const MAGIC: [u8; 4] = *b"FCP1";
+/// Checkpoint magic: "FCP" + format version 2 (v2 added the `shed`
+/// fault counter to each metrics row and the ingest budget to the
+/// config fingerprint; v1 files fail the magic check and are skipped).
+const MAGIC: [u8; 4] = *b"FCP2";
 
 /// Fixed-size prefix: magic + fingerprint + round + row count.
 const HEADER_LEN: usize = 4 + 8 + 8 + 8;
 
-/// Bytes per serialized [`RoundMetrics`] row (13 × 8).
-const ROW_LEN: usize = 13 * 8;
+/// Bytes per serialized [`RoundMetrics`] row (14 × 8).
+const ROW_LEN: usize = 14 * 8;
 
 /// Ceiling on an on-disk checkpoint (64 MiB). The scaled model analogues
 /// are a few hundred KiB; anything near this bound is hostile or corrupt,
@@ -80,17 +82,19 @@ pub struct Checkpoint {
 /// with a longer horizon) and the checkpoint fields themselves (where a
 /// checkpoint lives does not change what it contains); everything else —
 /// seed, population, sampling fraction, architecture, data, optimizer,
-/// compression — must match or a resume would silently splice two
-/// different experiments. The sampling inputs matter because the per-round
-/// cohort is drawn from `(seed, round, population, sample_fraction)`: a
-/// resumed run must replay the exact cohorts the uninterrupted run would
-/// have drawn.
+/// compression, ingest budget — must match or a resume would silently
+/// splice two different experiments. The sampling inputs matter because
+/// the per-round cohort is drawn from `(seed, round, population,
+/// sample_fraction)`: a resumed run must replay the exact cohorts the
+/// uninterrupted run would have drawn. The ingest budget matters because
+/// shedding changes which updates reach the aggregate; `ingest_workers`
+/// stays excluded because worker count never changes results.
 pub fn config_fingerprint(cfg: &FlConfig) -> u64 {
     // The Debug rendering of the trajectory fields is stable within a
     // build of this workspace, which is the scope a checkpoint targets;
     // float fields go in as exact bit patterns.
     let key = format!(
-        "{:?}|{:?}|{}|{}|{}|{}|{:x}|{:x}|{}|{}|{:?}|{:?}|{}|{:x}",
+        "{:?}|{:?}|{}|{}|{}|{}|{:x}|{:x}|{}|{}|{:?}|{:?}|{}|{:x}|{:?}",
         cfg.arch,
         cfg.dataset,
         cfg.n_clients,
@@ -105,6 +109,7 @@ pub fn config_fingerprint(cfg: &FlConfig) -> u64 {
         cfg.dirichlet_alpha.map(f64::to_bits),
         cfg.population,
         cfg.sample_fraction.to_bits(),
+        cfg.ingest_budget_bytes,
     );
     // FNV-1a 64.
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -155,6 +160,7 @@ impl Checkpoint {
             out.extend_from_slice(&(r.faults.delivered as u64).to_le_bytes());
             out.extend_from_slice(&(r.faults.rejected as u64).to_le_bytes());
             out.extend_from_slice(&(r.faults.quarantined as u64).to_le_bytes());
+            out.extend_from_slice(&(r.faults.shed as u64).to_le_bytes());
             out.extend_from_slice(&(r.faults.late as u64).to_le_bytes());
             out.extend_from_slice(&(r.faults.dropped as u64).to_le_bytes());
         }
@@ -223,6 +229,7 @@ impl Checkpoint {
                 delivered: read_usize(bytes, &mut pos, body_end)?,
                 rejected: read_usize(bytes, &mut pos, body_end)?,
                 quarantined: read_usize(bytes, &mut pos, body_end)?,
+                shed: read_usize(bytes, &mut pos, body_end)?,
                 late: read_usize(bytes, &mut pos, body_end)?,
                 dropped: read_usize(bytes, &mut pos, body_end)?,
             };
@@ -384,6 +391,7 @@ mod tests {
                 faults: FaultCounters {
                     delivered: 4,
                     quarantined: r,
+                    shed: r % 2,
                     ..FaultCounters::default()
                 },
             })
@@ -471,6 +479,24 @@ mod tests {
             ..a.clone()
         };
         assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(config_fingerprint(&b), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_tracks_ingest_budget() {
+        // Shedding removes updates from the aggregate, so a resumed run
+        // must not splice trajectories produced under different budgets.
+        let a = FlConfig::default();
+        let b = FlConfig {
+            ingest_budget_bytes: Some(1 << 20),
+            ..a.clone()
+        };
+        let c = FlConfig {
+            ingest_budget_bytes: Some(0),
+            ..a.clone()
+        };
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
         assert_ne!(config_fingerprint(&b), config_fingerprint(&c));
     }
 

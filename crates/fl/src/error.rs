@@ -27,6 +27,21 @@ pub enum FlError {
         /// Round at which the last client was lost.
         round: usize,
     },
+    /// Overload protection shed so many uplinks that the round starved:
+    /// the final attempt ended below quorum with at least one update
+    /// refused by the ingest budget or the minimum byte-rate enforcer.
+    /// Distinct from [`QuorumNotMet`](FlError::QuorumNotMet) so operators
+    /// can tell "clients failed" from "the server turned clients away".
+    Overloaded {
+        /// Round that starved under shedding.
+        round: usize,
+        /// Updates shed on the final attempt.
+        shed: usize,
+        /// Valid updates received on the final attempt.
+        delivered: usize,
+        /// Minimum required by the transport configuration.
+        required: usize,
+    },
     /// An update failed to decode on the in-process (non-threaded) path,
     /// where there is no per-client quorum to fall back on.
     Codec(CodecError),
@@ -68,6 +83,16 @@ impl std::fmt::Display for FlError {
             FlError::AllClientsDead { round } => {
                 write!(f, "round {round}: all clients disconnected")
             }
+            FlError::Overloaded {
+                round,
+                shed,
+                delivered,
+                required,
+            } => write!(
+                f,
+                "round {round}: overloaded — {shed} updates shed, quorum not met \
+                 ({delivered} valid updates, {required} required)"
+            ),
             FlError::Codec(e) => write!(f, "update decode failed: {e}"),
             FlError::Transport(m) => write!(f, "transport error: {m}"),
             FlError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
@@ -113,6 +138,17 @@ mod tests {
         assert!(FlError::AllClientsDead { round: 0 }
             .to_string()
             .contains("disconnected"));
+        let o = FlError::Overloaded {
+            round: 2,
+            shed: 3,
+            delivered: 1,
+            required: 4,
+        };
+        let s = o.to_string();
+        assert!(
+            s.contains("overloaded") && s.contains("3 updates shed") && s.contains("round 2"),
+            "{s}"
+        );
         let c = FlError::from(CodecError::Corrupt("bad FedSZ magic"));
         assert!(c.to_string().contains("bad FedSZ magic"));
         let a = FlError::Aggregate("structure mismatch".into());

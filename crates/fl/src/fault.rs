@@ -54,6 +54,30 @@ pub enum FaultKind {
     /// are discarded before they buffer or decode, so the aggregate is
     /// bit-identical to an un-replayed run.
     Replay(usize),
+    /// Overload-level: the client trickles its update frame below the
+    /// server's minimum byte rate. Over TCP the reader kills the
+    /// connection once the rate enforcer's grace expires (counted `shed`;
+    /// requires `NetConfig::min_byte_rate > 0` — with the enforcer off
+    /// the drip is merely slow) and the client rejoins via backoff. The
+    /// channel and in-process paths have no byte stream to trickle, so
+    /// they model the enforced outcome directly: the update is shed.
+    SlowDrip,
+    /// Overload-level: the client replaces its update payload with this
+    /// many junk bytes — a well-formed, CRC-valid frame the server could
+    /// never admit. With an ingest budget smaller than the frame the
+    /// server sheds it at the header without buffering the body (counted
+    /// `shed`, connection kept); with budgeting disabled the junk is
+    /// admitted and dies in decode (counted `rejected`). Identical
+    /// classification on all three transports.
+    FloodOversized(usize),
+    /// Overload-level: the client starts an update frame, then holds the
+    /// connection open without sending the rest for this long before
+    /// dropping it and rejoining. Over TCP the rate enforcer sheds the
+    /// wedged frame after its grace (counted `shed`; requires
+    /// `min_byte_rate > 0` and a hold longer than the grace — otherwise
+    /// the per-frame budget eventually counts it `rejected`). Channel and
+    /// in-process paths model the enforced outcome: shed.
+    HoldConnection(Duration),
 }
 
 /// One planned fault: `client` misbehaves in `round`.
@@ -182,6 +206,39 @@ impl FaultPlan {
         self
     }
 
+    /// Plan `client` to trickle its `round` update below the server's
+    /// minimum byte rate (shed by the rate enforcer).
+    pub fn slow_drip(mut self, client: usize, round: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::SlowDrip,
+        });
+        self
+    }
+
+    /// Plan `client` to send `n` junk bytes as its `round` update — a
+    /// well-formed frame the ingest budget refuses at the header.
+    pub fn flood_oversized(mut self, client: usize, round: usize, n: usize) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::FloodOversized(n),
+        });
+        self
+    }
+
+    /// Plan `client` to wedge a started update frame for `hold` in
+    /// `round` before dropping the connection.
+    pub fn hold_connection(mut self, client: usize, round: usize, hold: Duration) -> Self {
+        self.specs.push(FaultSpec {
+            client,
+            round,
+            kind: FaultKind::HoldConnection(hold),
+        });
+        self
+    }
+
     /// Kill the server after it broadcasts `round`, before any update for
     /// that round is collected — the deterministic stand-in for a SIGKILL
     /// mid-round. The run aborts with
@@ -282,6 +339,24 @@ mod tests {
         assert_eq!(plan.fault_for(2, 1), Some(FaultKind::Replay(5)));
         assert_eq!(plan.fault_for(2, 0), None);
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn overload_fault_builders_accumulate() {
+        let plan = FaultPlan::new()
+            .slow_drip(0, 1)
+            .flood_oversized(1, 2, 1 << 20)
+            .hold_connection(2, 3, Duration::from_secs(1));
+        assert_eq!(plan.fault_for(0, 1), Some(FaultKind::SlowDrip));
+        assert_eq!(
+            plan.fault_for(1, 2),
+            Some(FaultKind::FloodOversized(1 << 20))
+        );
+        assert_eq!(
+            plan.fault_for(2, 3),
+            Some(FaultKind::HoldConnection(Duration::from_secs(1)))
+        );
+        assert_eq!(plan.len(), 3);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use fedsz::{CodecError, CompressedUpdate};
 use fedsz_tensor::StateDict;
 
@@ -83,6 +83,10 @@ pub struct Job {
     pub raw_bytes: usize,
     /// Size of `payload` on the wire (accounted on accept).
     pub wire_bytes: usize,
+    /// Bytes this update holds reserved on the ingest
+    /// [`Ledger`](crate::budget::Ledger); released by the settle loop
+    /// once the outcome is applied. 0 when budgeting is disabled.
+    pub reserved: usize,
     /// The broadcast model this round's updates must match structurally.
     pub global: Arc<StateDict>,
 }
@@ -104,6 +108,8 @@ pub struct Outcome {
     pub raw_bytes: usize,
     /// Size of the payload on the wire.
     pub wire_bytes: usize,
+    /// Ledger reservation carried over from the job, released at settle.
+    pub reserved: usize,
     /// Accept / quarantine / reject.
     pub verdict: Verdict,
     /// Wall time of `fedsz::decompress` alone — validation excluded, and
@@ -150,6 +156,7 @@ fn run_job(job: Job) -> Outcome {
         compress_s: job.compress_s,
         raw_bytes: job.raw_bytes,
         wire_bytes: job.wire_bytes,
+        reserved: job.reserved,
         verdict,
         decompress_s,
     }
@@ -163,7 +170,10 @@ enum Mode {
     /// sequence (single-consumer channels keep the pool portable across
     /// channel implementations). The bound provides backpressure: a flooded
     /// pool stalls the collector rather than growing without bound. Results
-    /// funnel into one unbounded channel in completion order.
+    /// funnel into one bounded channel in completion order; its capacity
+    /// covers one full round attempt so workers never stall on it in
+    /// steady state, while a collector that stops draining stalls the
+    /// pool instead of growing an unbounded queue.
     Pool {
         jobs: Vec<Sender<Job>>,
         results: Receiver<Outcome>,
@@ -185,15 +195,19 @@ pub struct IngestPool {
 
 impl IngestPool {
     /// Spawn a pool with `workers` threads; `0` selects the serial in-line
-    /// path.
-    pub fn new(workers: usize) -> Self {
+    /// path. `outcome_capacity` bounds the finished-outcome queue — pass
+    /// the number of outcomes one round attempt can produce (the cohort
+    /// size); the pool clamps it to at least one slot per worker. The
+    /// queue is bounded even in serial mode's VecDeque analogue sense:
+    /// no configuration retains an unbounded channel.
+    pub fn new(workers: usize, outcome_capacity: usize) -> Self {
         if workers == 0 {
             return Self {
                 mode: Mode::Serial(VecDeque::new()),
                 n_workers: 0,
             };
         }
-        let (results_tx, results_rx) = unbounded::<Outcome>();
+        let (results_tx, results_rx) = bounded::<Outcome>(outcome_capacity.max(workers));
         let mut jobs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -318,6 +332,7 @@ mod tests {
             compress_s: 0.0,
             raw_bytes: 0,
             wire_bytes: 0,
+            reserved: 0,
             global: Arc::clone(global),
         }
     }
@@ -354,7 +369,7 @@ mod tests {
     fn pool_returns_one_outcome_per_job_for_any_worker_count() {
         let global = Arc::new(model());
         for workers in [0usize, 1, 4] {
-            let mut pool = IngestPool::new(workers);
+            let mut pool = IngestPool::new(workers, 8);
             assert_eq!(pool.workers(), workers);
             let n = 8u64;
             for seq in 0..n {
@@ -385,7 +400,7 @@ mod tests {
     #[test]
     fn serial_pool_yields_outcomes_in_submission_order() {
         let global = Arc::new(model());
-        let mut pool = IngestPool::new(0);
+        let mut pool = IngestPool::new(0, 4);
         for seq in 0..4 {
             pool.submit(job(seq, lossless(&global), 5, &global));
         }
@@ -396,9 +411,29 @@ mod tests {
     }
 
     #[test]
+    fn bounded_outcome_queue_backpressures_without_deadlock() {
+        // Outcome capacity far below the job count: workers stall on the
+        // full outcome queue instead of growing it, and an interleaved
+        // submit/drain loop still completes with nothing lost.
+        let global = Arc::new(model());
+        let mut pool = IngestPool::new(2, 1); // clamps to one slot per worker
+        let mut seen = 0u64;
+        for batch in 0..4u64 {
+            for k in 0..4u64 {
+                pool.submit(job(batch * 4 + k, lossless(&global), 5, &global));
+            }
+            for _ in 0..4 {
+                assert!(matches!(pool.recv().verdict, Verdict::Accept(_)));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 16);
+    }
+
+    #[test]
     fn accepted_state_dict_round_trips_bit_exact() {
         let global = Arc::new(model());
-        let mut pool = IngestPool::new(2);
+        let mut pool = IngestPool::new(2, 1);
         pool.submit(job(0, lossless(&global), 7, &global));
         let out = pool.recv();
         match out.verdict {

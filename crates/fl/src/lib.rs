@@ -45,8 +45,19 @@
 //! [`FlConfig::population`] and trains a per-round cohort of
 //! [`FlConfig::sample_fraction`] × population, drawn deterministically from
 //! the run seed (resume replays the same cohorts).
+//!
+//! The server is overload-safe: a per-round ingest memory [`budget::Ledger`]
+//! bounds admitted-but-unsettled frame bytes
+//! ([`FlConfig::ingest_budget_bytes`]), every inter-thread channel is
+//! bounded, and frames that could never fit the budget — or that trickle
+//! below [`NetConfig::min_byte_rate`] — are deterministically **shed**
+//! (counted in [`fedsz::FaultCounters::shed`], identically on every
+//! transport). Shedding is a pure function of `(client, round, frame
+//! size)`, never of arrival order, so overloaded runs stay bit-identical
+//! across transports and worker counts.
 
 pub mod aggregate;
+pub mod budget;
 pub mod checkpoint;
 pub mod error;
 pub mod fault;
@@ -60,11 +71,14 @@ pub mod validate;
 pub mod wire;
 
 pub use aggregate::{fedavg, StreamingFedAvg};
+pub use budget::{Ledger, RoundGate};
 pub use checkpoint::{config_fingerprint, Checkpoint};
 pub use error::FlError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use ingest::{ingest_update, IngestPool};
 pub use net::{run_tcp, run_tcp_client, run_tcp_with, serve_tcp, NetConfig};
-pub use session::{run, run_scheduled, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD};
+pub use session::{
+    run, run_scheduled, run_with_faults, FlConfig, FlRunResult, RoundMetrics, SMALL_MODEL_THRESHOLD,
+};
 pub use transport::{run_threaded, run_threaded_with, TransportConfig};
 pub use validate::{validate_update, UpdateRejection, MAX_SAMPLES};

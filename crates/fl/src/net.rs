@@ -33,20 +33,22 @@
 //! are the split server/client entry points the CLI exposes for genuinely
 //! distributed runs.
 
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use fedsz_tensor::SplitMix64;
 
+use crate::budget::{Ledger, RoundGate};
 use crate::error::FlError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::session::{FlConfig, FlRunResult};
 use crate::transport::{
-    broadcast_config, local_round, poisoned_payload, serve, setup_data, BroadcastOutcome,
-    ClientMsg, RecvEnd, ServerTransport, TransportConfig, Uplink,
+    broadcast_config, local_round, model_size_bytes, poisoned_payload, serve, setup_data,
+    BroadcastOutcome, ClientMsg, RecvEnd, ServerTransport, TransportConfig, Uplink,
 };
 use crate::wire::{self, Frame, WireError};
 
@@ -76,6 +78,18 @@ pub struct NetConfig {
     /// Budget for finishing a frame once its first byte arrived; a peer
     /// that stalls longer mid-frame is treated as corrupt + gone.
     pub frame_budget: Duration,
+    /// Budget for a fresh connection to complete its Hello handshake. A
+    /// connection that has not named its slot within this window is
+    /// rejected, so a dialer that connects and goes silent cannot pin
+    /// handshake threads forever.
+    pub handshake_timeout: Duration,
+    /// Minimum sustained uplink byte rate (bytes/second) a connection must
+    /// hold once a frame is in flight, enforced after a short grace
+    /// ([`wire::RATE_GRACE`]). A slow-dripping peer is **shed** — counted
+    /// in [`fedsz::FaultCounters::shed`] — and its connection killed,
+    /// instead of holding a reader (and its budget reservation) hostage
+    /// for the whole frame budget. `0` disables enforcement.
+    pub min_byte_rate: u64,
 }
 
 impl Default for NetConfig {
@@ -87,6 +101,8 @@ impl Default for NetConfig {
             backoff_max: Duration::from_secs(1),
             max_reconnects: 5,
             frame_budget: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(5),
+            min_byte_rate: 0,
         }
     }
 }
@@ -135,6 +151,10 @@ enum Event {
     Update(ClientMsg),
     /// A frame this connection sent failed wire-level validation.
     Garbage { client_id: usize, gen: u64 },
+    /// Admission control turned this connection's update away at the
+    /// frame header — it could never fit the ingest budget, or the
+    /// connection fell below the minimum byte rate.
+    Shed { client_id: usize, gen: u64 },
     /// This connection is no longer readable.
     Gone { client_id: usize, gen: u64 },
 }
@@ -158,20 +178,32 @@ struct TcpServer {
     acceptor: Option<std::thread::JoinHandle<()>>,
     readers: Vec<std::thread::JoinHandle<()>>,
     ncfg: NetConfig,
+    ledger: Arc<Ledger>,
+    gate: Arc<RoundGate>,
     stopped: bool,
 }
 
 impl TcpServer {
-    fn start(listener: TcpListener, n_clients: usize, ncfg: NetConfig) -> Result<Self, FlError> {
+    fn start(
+        listener: TcpListener,
+        n_clients: usize,
+        ncfg: NetConfig,
+        ledger: Arc<Ledger>,
+    ) -> Result<Self, FlError> {
         listener
             .set_nonblocking(true)
             .map_err(|e| FlError::Transport(format!("listener nonblocking: {e}")))?;
-        let (events_tx, events_rx) = unbounded();
+        // Bounded event queue: readers that outrun the collector block on
+        // `send_event` (backpressure) instead of growing server memory. Two
+        // slots per registered client cover an update plus a control event
+        // each, with slack for handshake bursts.
+        let (events_tx, events_rx) = bounded(n_clients.saturating_mul(2).saturating_add(16));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let handshake_timeout = ncfg.handshake_timeout;
         let acceptor = {
             let tx = events_tx.clone();
             let stop = Arc::clone(&shutdown);
-            std::thread::spawn(move || acceptor_loop(listener, tx, stop))
+            std::thread::spawn(move || acceptor_loop(listener, handshake_timeout, tx, stop))
         };
         Ok(Self {
             slots: (0..n_clients)
@@ -187,6 +219,8 @@ impl TcpServer {
             acceptor: Some(acceptor),
             readers: Vec::new(),
             ncfg,
+            ledger,
+            gate: Arc::new(RoundGate::new(n_clients)),
             stopped: false,
         })
     }
@@ -219,8 +253,13 @@ impl TcpServer {
         let stop = Arc::clone(&self.shutdown);
         let gen = slot.gen;
         let budget = self.ncfg.frame_budget;
+        let min_rate = self.ncfg.min_byte_rate;
+        let ledger = Arc::clone(&self.ledger);
+        let gate = Arc::clone(&self.gate);
         self.readers.push(std::thread::spawn(move || {
-            reader_loop(reader, client_id, gen, budget, tx, stop)
+            reader_loop(
+                reader, client_id, gen, budget, min_rate, ledger, gate, tx, stop,
+            )
         }));
     }
 
@@ -251,7 +290,10 @@ impl TcpServer {
                     self.uninstall(client_id);
                 }
             }
-            Event::Update(_) | Event::Garbage { .. } => {}
+            // Between rounds every data event is stale; a stale update
+            // still holds a budget reservation that must be handed back.
+            Event::Update(msg) => self.ledger.release(msg.reserved),
+            Event::Garbage { .. } | Event::Shed { .. } => {}
         }
     }
 
@@ -276,6 +318,11 @@ impl TcpServer {
             return;
         }
         self.stopped = true;
+        // Fail any reader blocked in `Ledger::reserve` first, then raise
+        // the flag: a reader blocked in `send_event` re-checks it within
+        // one poll interval, so the joins below cannot deadlock on a full
+        // event queue.
+        self.ledger.close();
         self.shutdown.store(true, Ordering::SeqCst);
         let stop_bytes = wire::encode(&Frame::Stop);
         for slot in &mut self.slots {
@@ -342,6 +389,12 @@ impl ServerTransport for TcpServer {
             }
         }
 
+        // Arm per-round admission before any client can answer: each
+        // cohort slot gets exactly one update frame past the readers for
+        // this `(round, attempt)`; replays and strays are dropped at the
+        // socket, undecoded.
+        self.gate.open(round, attempt, cohort);
+
         let bytes = wire::encode(&Frame::Broadcast {
             round,
             attempt,
@@ -399,6 +452,11 @@ impl ServerTransport for TcpServer {
                         return Ok(Uplink::Garbage { client_id });
                     }
                 }
+                Event::Shed { client_id, gen } => {
+                    if self.current(client_id, gen) {
+                        return Ok(Uplink::Shed { client_id });
+                    }
+                }
                 Event::Gone { client_id, gen } => {
                     if self.current(client_id, gen) {
                         self.uninstall(client_id);
@@ -413,7 +471,12 @@ impl ServerTransport for TcpServer {
 
 /// Accept connections and hand each to a short-lived handshake thread
 /// (so one stalling client cannot block later joiners).
-fn acceptor_loop(listener: TcpListener, tx: Sender<Event>, stop: Arc<AtomicBool>) {
+fn acceptor_loop(
+    listener: TcpListener,
+    handshake_timeout: Duration,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+) {
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -422,7 +485,7 @@ fn acceptor_loop(listener: TcpListener, tx: Sender<Event>, stop: Arc<AtomicBool>
             Ok((stream, _)) => {
                 let tx = tx.clone();
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || handshake(stream, tx, stop));
+                std::thread::spawn(move || handshake(stream, handshake_timeout, tx, stop));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
@@ -431,18 +494,18 @@ fn acceptor_loop(listener: TcpListener, tx: Sender<Event>, stop: Arc<AtomicBool>
 
 /// Read the Hello frame off a fresh connection; anything else (or a stall
 /// past the handshake budget) rejects the connection.
-fn handshake(mut stream: TcpStream, tx: Sender<Event>, stop: Arc<AtomicBool>) {
+fn handshake(mut stream: TcpStream, timeout: Duration, tx: Sender<Event>, stop: Arc<AtomicBool>) {
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
-    let deadline = Instant::now() + Duration::from_secs(5);
+    let deadline = Instant::now() + timeout;
     loop {
         if stop.load(Ordering::SeqCst) || Instant::now() >= deadline {
             return;
         }
-        match wire::read_frame(&mut stream, Duration::from_secs(5)) {
+        match wire::read_frame(&mut stream, timeout) {
             Ok(Frame::Hello { client_id }) => {
-                let _ = tx.send(Event::Joined { client_id, stream });
+                let _ = send_event(&tx, &stop, Event::Joined { client_id, stream });
                 return;
             }
             Ok(_) => return,           // protocol violation: reject
@@ -452,12 +515,51 @@ fn handshake(mut stream: TcpStream, tx: Sender<Event>, stop: Arc<AtomicBool>) {
     }
 }
 
+/// Deliver `ev` to the bounded event queue, blocking (in poll steps) while
+/// it is full. This is the server's backpressure point: a reader that
+/// outruns the collector parks here holding exactly one decoded frame.
+/// Returns the event back when the server is shutting down or the queue is
+/// gone, so the caller can unwind anything the event carried (a budget
+/// reservation, an owned stream).
+fn send_event(tx: &Sender<Event>, stop: &AtomicBool, mut ev: Event) -> Result<(), Event> {
+    loop {
+        match tx.try_send(ev) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Full(back)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(back);
+                }
+                ev = back;
+                std::thread::sleep(POLL);
+            }
+            Err(TrySendError::Disconnected(back)) => return Err(back),
+        }
+    }
+}
+
 /// Decode uplink frames from one connection until it dies.
+///
+/// Admission control runs *at the frame header*, before the body is read:
+/// a body that could never fit the ingest budget is shed (drained and
+/// discarded, the connection stays framed), and an admissible body first
+/// reserves its bytes in the `ledger` — blocking, which is the
+/// backpressure that caps this connection at one in-flight frame. The
+/// reservation rides inside the resulting [`ClientMsg`] and is released by
+/// whoever discards or settles it; every early exit below must hand it
+/// back itself. With [`NetConfig::min_byte_rate`] set, a frame dripping in
+/// below that rate is shed too ([`WireError::TooSlow`]) and the connection
+/// killed. Both shed triggers are pure functions of the frame — its
+/// announced size, its byte rate — never of ledger occupancy, so shedding
+/// is deterministic across runs and transports.
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     mut stream: TcpStream,
     client_id: usize,
     gen: u64,
     budget: Duration,
+    min_rate: u64,
+    ledger: Arc<Ledger>,
+    gate: Arc<RoundGate>,
     tx: Sender<Event>,
     stop: Arc<AtomicBool>,
 ) {
@@ -469,7 +571,22 @@ fn reader_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match wire::read_frame_reusing(&mut stream, budget, &mut scratch) {
+        // Bytes this iteration holds in the ledger; nonzero from the
+        // moment the gate admits until the frame's fate is known.
+        let mut reserved = 0usize;
+        let res = wire::read_frame_gated(&mut stream, budget, min_rate, &mut scratch, |len| {
+            if ledger.would_never_fit(len) {
+                wire::HeaderVerdict::Shed
+            } else if ledger.reserve(len) {
+                reserved = len;
+                wire::HeaderVerdict::Admit
+            } else {
+                // `reserve` fails only when the ledger is closed: the
+                // server is tearing down, so drop the connection.
+                wire::HeaderVerdict::Abort
+            }
+        });
+        match res {
             Ok(Frame::Update {
                 round,
                 attempt,
@@ -482,8 +599,12 @@ fn reader_loop(
             }) => {
                 // A frame claiming another client's identity is garbage,
                 // not a message — the handshake owns the slot binding.
-                let ev = if echoed == client_id {
-                    Event::Update(ClientMsg {
+                // A frame for a closed `(round, attempt)` — a replayed
+                // duplicate, a stray for an unsampled slot, a straggler
+                // from a finished attempt — is dropped right here,
+                // already accounted (late) where it mattered.
+                if echoed == client_id && gate.admit(client_id, round, attempt) {
+                    let ev = Event::Update(ClientMsg {
                         client_id,
                         round,
                         attempt,
@@ -492,32 +613,60 @@ fn reader_loop(
                         train_s,
                         compress_s,
                         raw_bytes,
-                    })
+                        reserved,
+                    });
+                    if let Err(ev) = send_event(&tx, &stop, ev) {
+                        if let Event::Update(msg) = ev {
+                            ledger.release(msg.reserved);
+                        }
+                        return;
+                    }
                 } else {
-                    Event::Garbage { client_id, gen }
-                };
-                if tx.send(ev).is_err() {
-                    return;
+                    ledger.release(reserved);
+                    if echoed != client_id
+                        && send_event(&tx, &stop, Event::Garbage { client_id, gen }).is_err()
+                    {
+                        return;
+                    }
                 }
             }
             // A well-formed frame of the wrong kind: protocol violation,
             // but the stream is still framed — reject and keep reading.
             Ok(_) => {
-                if tx.send(Event::Garbage { client_id, gen }).is_err() {
+                ledger.release(reserved);
+                if send_event(&tx, &stop, Event::Garbage { client_id, gen }).is_err() {
                     return;
                 }
             }
             Err(WireError::Idle) => {} // no frame yet; check stop and wait on
+            // The gate shed this frame at its header: the body was
+            // drained, the stream stays framed, the connection lives.
+            Err(WireError::OverBudget(_)) => {
+                if send_event(&tx, &stop, Event::Shed { client_id, gen }).is_err() {
+                    return;
+                }
+            }
+            // Dripping below the minimum byte rate: shed the frame and
+            // kill the connection — a trickler does not get to hold a
+            // reader (or a reservation) for the whole frame budget.
+            Err(WireError::TooSlow) => {
+                ledger.release(reserved);
+                let _ = send_event(&tx, &stop, Event::Shed { client_id, gen });
+                let _ = send_event(&tx, &stop, Event::Gone { client_id, gen });
+                return;
+            }
             // Detected corruption with framing intact: reject the frame,
             // keep the connection.
             Err(WireError::BadCrc { .. }) | Err(WireError::BadBody(_)) => {
-                if tx.send(Event::Garbage { client_id, gen }).is_err() {
+                ledger.release(reserved);
+                if send_event(&tx, &stop, Event::Garbage { client_id, gen }).is_err() {
                     return;
                 }
             }
             // Clean close between frames: the client left.
             Err(WireError::Closed) => {
-                let _ = tx.send(Event::Gone { client_id, gen });
+                ledger.release(reserved);
+                let _ = send_event(&tx, &stop, Event::Gone { client_id, gen });
                 return;
             }
             // Died or stalled mid-frame, or desynchronised beyond repair:
@@ -526,12 +675,14 @@ fn reader_loop(
             | Err(WireError::Stalled)
             | Err(WireError::BadMagic)
             | Err(WireError::TooLarge(_)) => {
-                let _ = tx.send(Event::Garbage { client_id, gen });
-                let _ = tx.send(Event::Gone { client_id, gen });
+                ledger.release(reserved);
+                let _ = send_event(&tx, &stop, Event::Garbage { client_id, gen });
+                let _ = send_event(&tx, &stop, Event::Gone { client_id, gen });
                 return;
             }
             Err(WireError::Io(_)) => {
-                let _ = tx.send(Event::Gone { client_id, gen });
+                ledger.release(reserved);
+                let _ = send_event(&tx, &stop, Event::Gone { client_id, gen });
                 return;
             }
         }
@@ -737,6 +888,45 @@ fn tcp_client_loop(
                     reconnect_or_return!();
                 }
             }
+            Some(FaultKind::SlowDrip) => {
+                // Trickle a single byte of the frame, then stall well past
+                // the rate grace: a rate-enforcing server sheds the update
+                // and kills the connection (TooSlow); without enforcement
+                // the stall runs into the frame budget and is rejected.
+                let bytes = wire::encode(&update);
+                if stream.write_all(&bytes[..1]).is_ok() {
+                    let _ = stream.flush();
+                }
+                std::thread::sleep(wire::RATE_GRACE.saturating_mul(4));
+                let _ = stream.shutdown(Shutdown::Both);
+                reconnect_or_return!();
+            }
+            Some(FaultKind::HoldConnection(d)) => {
+                // Announce a full frame (header plus a sliver of body),
+                // then hold the connection wedged for `d`: rate
+                // enforcement sheds it; otherwise the frame budget expires
+                // and the half-frame is rejected.
+                let bytes = wire::encode(&update);
+                let upto = (wire::HEADER_LEN + 8).min(bytes.len());
+                if stream.write_all(&bytes[..upto]).is_ok() {
+                    let _ = stream.flush();
+                }
+                std::thread::sleep(d);
+                let _ = stream.shutdown(Shutdown::Both);
+                reconnect_or_return!();
+            }
+            Some(FaultKind::FloodOversized(n)) => {
+                // A CRC-valid update frame carrying `n` junk payload
+                // bytes: admission control sheds it at the header when it
+                // could never fit the ingest budget; with budgeting
+                // disabled it is read whole and rejected in decode.
+                if let Frame::Update { payload, .. } = &mut update {
+                    *payload = fedsz::CompressedUpdate::from_bytes(vec![0xA5; n]);
+                }
+                if wire::write_frame(&mut stream, &update).is_err() {
+                    reconnect_or_return!();
+                }
+            }
             Some(FaultKind::Replay(n)) => {
                 // Send the valid frame, then replay the identical bytes n
                 // more times: every copy passes its CRC and would decode,
@@ -773,7 +963,10 @@ fn serve_on(
     let (test, _) = setup_data(cfg);
     let bcast_cfg = broadcast_config(&cfg.compression);
     let registered = cfg.registered();
-    let mut server = TcpServer::start(listener, registered, ncfg.clone())?;
+    let ledger = Arc::new(Ledger::new(
+        cfg.resolve_ingest_budget(model_size_bytes(cfg)),
+    ));
+    let mut server = TcpServer::start(listener, registered, ncfg.clone(), Arc::clone(&ledger))?;
     let joined = server.await_joins(registered, ncfg.join_timeout);
     if joined == 0 {
         server.stop();
@@ -781,7 +974,7 @@ fn serve_on(
             "no client joined within the join timeout".into(),
         ));
     }
-    let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut server);
+    let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut server, &ledger);
     server.stop();
     result
 }
@@ -902,6 +1095,8 @@ mod tests {
         assert!(n.backoff_base < n.backoff_max);
         assert!(n.rejoin_grace > Duration::ZERO);
         assert!(n.max_reconnects > 0);
+        assert!(n.handshake_timeout > Duration::ZERO);
+        assert_eq!(n.min_byte_rate, 0, "rate enforcement must be opt-in");
     }
 
     #[test]

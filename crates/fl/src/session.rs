@@ -14,9 +14,11 @@ use rayon::prelude::*;
 use crate::aggregate::StreamingFedAvg;
 use crate::checkpoint::{self, Checkpoint};
 use crate::error::FlError;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::ingest::{self, IngestPool, Verdict};
 use crate::partition;
 use crate::validate::validate_update;
+use crate::wire;
 
 /// FedSZ partition threshold for the scaled model analogues: their conv
 /// weights are far smaller than torchvision's, so the Algorithm-1 threshold
@@ -79,6 +81,19 @@ pub struct FlConfig {
     /// checkpoint config fingerprint: a run may resume under a different
     /// worker count.
     pub ingest_workers: usize,
+    /// Per-round ingest memory budget in bytes: the ceiling on
+    /// admitted-but-unsettled update-frame bytes the server holds at once
+    /// (see [`crate::budget::Ledger`]). `None` (the default) auto-sizes to
+    /// 4× the model's state-dict size; `Some(0)` disables budgeting
+    /// entirely; `Some(n)` sets an explicit ceiling. An update frame whose
+    /// announced body could never fit the whole budget is **shed** —
+    /// refused at the frame header, before its body is buffered — and
+    /// counted in [`fedsz::FaultCounters::shed`]; frames that fit wait
+    /// (backpressure) instead, so shedding never depends on arrival order
+    /// and runs stay bit-identical across transports and worker counts.
+    /// Unlike `ingest_workers` this knob *can* change a run's outcome, so
+    /// it is part of the checkpoint config fingerprint.
+    pub ingest_budget_bytes: Option<usize>,
 }
 
 impl Default for FlConfig {
@@ -103,6 +118,7 @@ impl Default for FlConfig {
             checkpoint_every: 1,
             resume: false,
             ingest_workers: crate::ingest::default_workers(),
+            ingest_budget_bytes: None,
         }
     }
 }
@@ -139,6 +155,19 @@ impl FlConfig {
     /// (`sample_fraction = 1`) returns `0..registered()`.
     pub fn cohort_for_round(&self, round: usize) -> Vec<usize> {
         crate::sampling::cohort_for_round(self.seed, round, self.registered(), self.sample_fraction)
+    }
+
+    /// The effective ingest budget given the model's state-dict size:
+    /// `None` means accounting is disabled. Resolution:
+    /// `ingest_budget_bytes = Some(0)` → disabled, `Some(n)` → `n` bytes,
+    /// `None` → 4 × `model_bytes` (one frame in flight per connection plus
+    /// headroom for the settle window, never below one byte).
+    pub fn resolve_ingest_budget(&self, model_bytes: usize) -> Option<usize> {
+        match self.ingest_budget_bytes {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(model_bytes.saturating_mul(4).max(1)),
+        }
     }
 
     /// Should a checkpoint be written after completing `round`? The cadence
@@ -224,7 +253,7 @@ pub struct RoundMetrics {
     /// Total uncompressed update bytes, all clients.
     pub bytes_uncompressed: usize,
     /// Client participation outcome
-    /// (delivered / rejected / quarantined / late / dropped).
+    /// (delivered / rejected / quarantined / shed / late / dropped).
     pub faults: FaultCounters,
 }
 
@@ -315,6 +344,7 @@ impl FlRunResult {
                 delivered: acc.delivered + r.faults.delivered,
                 rejected: acc.rejected + r.faults.rejected,
                 quarantined: acc.quarantined + r.faults.quarantined,
+                shed: acc.shed + r.faults.shed,
                 late: acc.late + r.faults.late,
                 dropped: acc.dropped + r.faults.dropped,
             })
@@ -337,6 +367,38 @@ pub fn run(cfg: &FlConfig) -> Result<FlRunResult, FlError> {
 pub fn run_scheduled(
     cfg: &FlConfig,
     schedule: impl Fn(usize) -> Option<FedSzConfig> + Sync,
+) -> Result<FlRunResult, FlError> {
+    run_impl(cfg, schedule, None)
+}
+
+/// Run a federated session in-process under a deterministic [`FaultPlan`]
+/// — the oracle the chaos soak compares the channel and TCP transports
+/// against.
+///
+/// The in-process path has no wire, so each planned fault is classified
+/// directly into the outcome the transports converge on: `Corrupt`,
+/// `TruncateFrame`, and `FlipBytes` count `rejected`; `NonFiniteUpdate`
+/// and `WrongShape` count `quarantined`; `SlowDrip` and `HoldConnection`
+/// count `shed` (the rate enforcer's verdict); `FloodOversized(n)` counts
+/// `shed` when a junk frame of `n` payload bytes could never fit the
+/// ingest budget and `rejected` otherwise — the exact
+/// [`wire::update_body_len`](crate::wire::update_body_len) admission the
+/// transports apply. `Crash` and `Disconnect` count `late` for the
+/// planned round only (there is no thread to kill, so the client
+/// participates again next round — model a persistent crash by planning
+/// it into consecutive rounds); `Delay` and `Replay` are no-ops (no
+/// deadline to miss, and first-wins admission makes replays invisible).
+/// Faulted clients skip local training entirely: their update could never
+/// fold into the aggregate, so the final model is bit-identical to the
+/// transports', where the faulty bytes are really produced and refused.
+pub fn run_with_faults(cfg: &FlConfig, plan: &FaultPlan) -> Result<FlRunResult, FlError> {
+    run_impl(cfg, |_| cfg.compression, Some(plan))
+}
+
+fn run_impl(
+    cfg: &FlConfig,
+    schedule: impl Fn(usize) -> Option<FedSzConfig> + Sync,
+    plan: Option<&FaultPlan>,
 ) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
     let registered = cfg.registered();
@@ -366,9 +428,15 @@ pub fn run_scheduled(
     // Server-side ingest pool for the in-process path: the same worker pool
     // the transports use, so `ingest_workers` means the same thing on every
     // path (0 = decode serially on this thread).
-    let mut ingest_pool = IngestPool::new(cfg.ingest_workers);
+    let mut ingest_pool = IngestPool::new(cfg.ingest_workers, cfg.cohort_size());
+    // The ingest budget, resolved against the model size exactly as the
+    // transports resolve it, so the shed set below matches theirs.
+    let budget = cfg.resolve_ingest_budget(global.nbytes());
 
     for round in resume.start_round..cfg.rounds {
+        if plan.is_some_and(|p| p.server_kill_round() == Some(round)) {
+            return Err(FlError::ServerKilled { round });
+        }
         // Local training, parallel across this round's sampled cohort.
         // A client's update travels either compressed (the wire payload)
         // or as its raw state dict (the uncompressed baseline) — exactly
@@ -387,7 +455,65 @@ pub fn run_scheduled(
             raw_bytes: usize,
         }
         let cohort = cfg.cohort_for_round(round);
-        let mut outs: Vec<ClientOut> = cohort
+        // Classify this round's planned faults into the outcomes the
+        // transports converge on (see [`run_with_faults`]); clients whose
+        // update could never reach the aggregate skip training entirely.
+        let mut shed = 0usize;
+        let mut synthetic_rejected = 0usize;
+        let mut synthetic_quarantined = 0usize;
+        let mut late = 0usize;
+        let model_bytes = global.nbytes();
+        let trainers: Vec<usize> = cohort
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let Some(kind) = plan.and_then(|p| p.fault_for(id, round)) else {
+                    return true;
+                };
+                match kind {
+                    // No deadline to miss, and first-wins admission makes
+                    // replays invisible: both degenerate to honest clients.
+                    FaultKind::Delay(_) | FaultKind::Replay(_) => true,
+                    FaultKind::Crash | FaultKind::Disconnect => {
+                        late += 1;
+                        false
+                    }
+                    FaultKind::SlowDrip | FaultKind::HoldConnection(_) => {
+                        shed += 1;
+                        false
+                    }
+                    FaultKind::Corrupt | FaultKind::TruncateFrame | FaultKind::FlipBytes(_) => {
+                        synthetic_rejected += 1;
+                        false
+                    }
+                    FaultKind::NonFiniteUpdate | FaultKind::WrongShape => {
+                        synthetic_quarantined += 1;
+                        false
+                    }
+                    FaultKind::FloodOversized(n) => {
+                        // The junk frame's exact body length, as the wire
+                        // would announce it: trained state dicts keep the
+                        // model's structure, so `raw_bytes` is known
+                        // without training.
+                        let body = wire::update_body_len(
+                            round,
+                            0,
+                            id,
+                            shards[id].n.max(1),
+                            model_bytes,
+                            n,
+                        );
+                        if budget.is_some_and(|cap| body > cap) {
+                            shed += 1;
+                        } else {
+                            synthetic_rejected += 1;
+                        }
+                        false
+                    }
+                }
+            })
+            .collect();
+        let mut outs: Vec<ClientOut> = trainers
             .par_iter()
             .map(|&id| {
                 let mut net = cfg.arch.build(c, h, classes, cfg.seed ^ (id as u64 + 1));
@@ -444,6 +570,12 @@ pub fn run_scheduled(
             next: u64,
             decompress_s_total: f64,
             quarantined: usize,
+            rejected: usize,
+            /// Without a fault plan a decode failure is a programming
+            /// error, surfaced as [`FlError::Codec`]; under a plan it is a
+            /// modelled network event and counts `rejected` like the
+            /// transports count it.
+            strict: bool,
         }
         impl Collector {
             /// Fold every outcome that is now contiguous from `next`,
@@ -456,10 +588,8 @@ pub fn run_scheduled(
                     match verdict {
                         Verdict::Accept(sd) => self.agg.fold(&sd, samples)?,
                         Verdict::Quarantine => self.quarantined += 1,
-                        // The in-process path has no per-client transport,
-                        // so a decode failure stays a typed error, not a
-                        // rejection.
-                        Verdict::Reject(e) => return Err(e.into()),
+                        Verdict::Reject(e) if self.strict => return Err(e.into()),
+                        Verdict::Reject(_) => self.rejected += 1,
                     }
                 }
                 Ok(())
@@ -471,22 +601,43 @@ pub fn run_scheduled(
             next: 0,
             decompress_s_total: 0.0,
             quarantined: 0,
+            rejected: 0,
+            strict: plan.is_none(),
         };
         let mut in_flight = 0usize;
+        let mut seq = 0u64;
+        let mut bytes_on_wire = 0usize;
+        let mut bytes_uncompressed = 0usize;
         for (i, out) in outs.iter_mut().enumerate() {
-            match out.payload.take().expect("each client trained once") {
+            let payload = out.payload.take().expect("each client trained once");
+            // The same header-time admission the transports apply: an
+            // update whose announced body could never fit the whole
+            // budget is shed before it is buffered or decoded. Frames
+            // that fit are never refused here — in-process there is no
+            // concurrent arrival, so backpressure is a no-op.
+            let body_len =
+                wire::update_body_len(round, 0, trainers[i], out.n, out.raw_bytes, out.wire_bytes);
+            if budget.is_some_and(|cap| body_len > cap) {
+                shed += 1;
+                continue;
+            }
+            bytes_on_wire += out.wire_bytes;
+            bytes_uncompressed += out.raw_bytes;
+            match payload {
                 ClientPayload::Compressed(payload) => {
                     ingest_pool.submit(ingest::Job {
-                        seq: i as u64,
-                        client_id: cohort[i],
+                        seq,
+                        client_id: trainers[i],
                         payload,
                         samples: out.n,
                         train_s: 0.0,
                         compress_s: 0.0,
                         raw_bytes: 0,
                         wire_bytes: 0,
+                        reserved: 0,
                         global: Arc::clone(&global),
                     });
+                    seq += 1;
                     in_flight += 1;
                 }
                 // Uncompressed path: nothing to decode, validate in-line
@@ -496,7 +647,8 @@ pub fn run_scheduled(
                         Ok(()) => Verdict::Accept(Box::new(sd)),
                         Err(_) => Verdict::Quarantine,
                     };
-                    collect.buffered.insert(i as u64, (verdict, 0.0, out.n));
+                    collect.buffered.insert(seq, (verdict, 0.0, out.n));
+                    seq += 1;
                 }
             }
             // Opportunistically drain and fold while submission continues,
@@ -518,13 +670,25 @@ pub fn run_scheduled(
             collect.settle()?;
         }
         debug_assert!(collect.buffered.is_empty());
-        let quarantined = collect.quarantined;
+        let quarantined = collect.quarantined + synthetic_quarantined;
+        let rejected = collect.rejected + synthetic_rejected;
         if collect.agg.folded() == 0 {
-            // Every update was quarantined: FedAvg has nothing to average.
-            return Err(FlError::QuorumNotMet {
-                round,
-                delivered: 0,
-                required: 1,
+            // Every update was refused: FedAvg has nothing to average.
+            // Shedding gets its own error so operators can tell "clients
+            // failed" from "the server turned clients away".
+            return Err(if shed > 0 {
+                FlError::Overloaded {
+                    round,
+                    shed,
+                    delivered: 0,
+                    required: 1,
+                }
+            } else {
+                FlError::QuorumNotMet {
+                    round,
+                    delivered: 0,
+                    required: 1,
+                }
             });
         }
         let delivered = collect.agg.folded();
@@ -538,13 +702,16 @@ pub fn run_scheduled(
             train_s_total: outs.iter().map(|o| o.train_s).sum(),
             compress_s_total: outs.iter().map(|o| o.compress_s).sum(),
             decompress_s_total: collect.decompress_s_total,
-            bytes_on_wire: outs.iter().map(|o| o.wire_bytes).sum(),
+            bytes_on_wire,
             bytes_down_wire: 0,
-            bytes_uncompressed: outs.iter().map(|o| o.raw_bytes).sum(),
+            bytes_uncompressed,
             faults: FaultCounters {
                 delivered,
+                rejected,
                 quarantined,
-                ..FaultCounters::default()
+                shed,
+                late,
+                dropped: 0,
             },
         });
         maybe_checkpoint(cfg, round, &global, &rounds)?;
@@ -628,6 +795,75 @@ mod tests {
     fn runs_are_deterministic() {
         let a = run(&quick(None)).expect("fl run");
         let b = run(&quick(None)).expect("fl run");
+        let accs_a: Vec<f64> = a.rounds.iter().map(|r| r.accuracy).collect();
+        let accs_b: Vec<f64> = b.rounds.iter().map(|r| r.accuracy).collect();
+        assert_eq!(accs_a, accs_b);
+    }
+
+    #[test]
+    fn resolve_ingest_budget_modes() {
+        let mut cfg = FlConfig::default();
+        assert_eq!(cfg.resolve_ingest_budget(100), Some(400), "auto = 4x");
+        cfg.ingest_budget_bytes = Some(0);
+        assert_eq!(cfg.resolve_ingest_budget(100), None, "0 disables");
+        cfg.ingest_budget_bytes = Some(7);
+        assert_eq!(cfg.resolve_ingest_budget(100), Some(7), "explicit");
+        cfg.ingest_budget_bytes = None;
+        assert_eq!(cfg.resolve_ingest_budget(0), Some(1), "never zero-capacity");
+    }
+
+    #[test]
+    fn starved_round_under_a_tiny_budget_is_overloaded() {
+        let mut cfg = quick(None);
+        cfg.rounds = 1;
+        cfg.ingest_budget_bytes = Some(1);
+        let err = run(&cfg).expect_err("every update shed");
+        assert!(
+            matches!(
+                err,
+                FlError::Overloaded {
+                    round: 0,
+                    shed: 4,
+                    delivered: 0,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_outcomes_are_classified_in_process() {
+        let mut cfg = quick(None);
+        cfg.rounds = 2;
+        let plan = FaultPlan::new()
+            .corrupt(0, 0)
+            .non_finite(1, 0)
+            .crash(2, 0)
+            .slow_drip(3, 1)
+            .flood_oversized(0, 1, 1 << 26); // far over the 4x-model auto-budget
+        let result = run_with_faults(&cfg, &plan).expect("quorum met each round");
+        let r0 = &result.rounds[0].faults;
+        assert_eq!(
+            (r0.delivered, r0.rejected, r0.quarantined, r0.shed, r0.late),
+            (1, 1, 1, 0, 1),
+            "{r0:?}"
+        );
+        let r1 = &result.rounds[1].faults;
+        assert_eq!(
+            (r1.delivered, r1.rejected, r1.quarantined, r1.shed, r1.late),
+            (2, 0, 0, 2, 0),
+            "{r1:?}"
+        );
+        assert_eq!(result.fault_summary().shed, 2);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let cfg = quick(None);
+        let a = run(&cfg).expect("plain run");
+        let b = run_with_faults(&cfg, &FaultPlan::new()).expect("empty plan");
+        assert_eq!(a.final_model, b.final_model);
         let accs_a: Vec<f64> = a.rounds.iter().map(|r| r.accuracy).collect();
         let accs_b: Vec<f64> = b.rounds.iter().map(|r| r.accuracy).collect();
         assert_eq!(accs_a, accs_b);

@@ -48,16 +48,18 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use fedsz::{CompressedUpdate, FaultCounters, FedSzConfig};
 use fedsz_tensor::{SplitMix64, StateDict, Tensor};
 
 use crate::aggregate::StreamingFedAvg;
+use crate::budget::Ledger;
 use crate::error::FlError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::ingest::{self, IngestPool, Verdict};
 use crate::partition;
 use crate::session::{maybe_checkpoint, resume_point, FlConfig, FlRunResult, RoundMetrics};
+use crate::wire;
 
 /// Transport-level policy: per-round deadline, quorum, retries, client idle
 /// timeout, and fault injection. Shared by the channel and TCP transports.
@@ -101,6 +103,19 @@ pub(crate) struct ClientMsg {
     pub(crate) train_s: f64,
     pub(crate) compress_s: f64,
     pub(crate) raw_bytes: usize,
+    /// Bytes this message holds reserved on the ingest
+    /// [`Ledger`](crate::budget::Ledger); released exactly once — at
+    /// settle, or when the message is discarded as stale or duplicate.
+    /// 0 when budgeting is disabled.
+    pub(crate) reserved: usize,
+}
+
+/// What travels on the channel transport's shared uplink: a structurally
+/// valid message, or notice that overload protection refused one before
+/// any bytes moved (the channel analogue of TCP's header-time shed).
+pub(crate) enum ChannelUplink {
+    Msg(ClientMsg),
+    Shed { client_id: usize },
 }
 
 /// Downlink message: the new global model (or a stop signal).
@@ -128,6 +143,15 @@ pub(crate) enum Uplink {
     /// (it may reconnect and rejoin at a later broadcast).
     Gone {
         /// Client whose connection closed.
+        client_id: usize,
+    },
+    /// Overload protection refused this client's update before its body
+    /// was buffered or decoded: the frame could never fit the ingest
+    /// budget, or the connection fell below the minimum byte rate.
+    /// Counted as `shed` — deterministically, because both triggers are
+    /// pure functions of the frame, never of ledger occupancy.
+    Shed {
+        /// Client whose update was refused.
         client_id: usize,
     },
 }
@@ -303,7 +327,14 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
     let registered = cfg.registered();
     let (test, shards) = setup_data(cfg);
 
-    let (up_tx, up_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = unbounded();
+    // Bounded uplink: steady state holds at most one in-flight message per
+    // cohort member plus a small slack for replay floods; a hostile sender
+    // blocks instead of growing server memory.
+    let up_cap = cfg.cohort_size().saturating_mul(2).saturating_add(8);
+    let (up_tx, up_rx): (Sender<ChannelUplink>, Receiver<ChannelUplink>) = bounded(up_cap);
+    let ledger = Arc::new(Ledger::new(
+        cfg.resolve_ingest_budget(model_size_bytes(cfg)),
+    ));
     let bcast_cfg = broadcast_config(&cfg.compression);
     let plan = Arc::new(tcfg.faults.clone());
     let idle = tcfg.client_idle_timeout;
@@ -316,8 +347,11 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
         let up_tx = up_tx.clone();
         let cfg = cfg.clone();
         let plan = Arc::clone(&plan);
+        let ledger = Arc::clone(&ledger);
         handles.push(std::thread::spawn(move || {
-            client_loop(i, cfg, shard, c, h, classes, &plan, idle, &down_rx, &up_tx);
+            client_loop(
+                i, cfg, shard, c, h, classes, &plan, idle, &ledger, &down_rx, &up_tx,
+            );
         }));
     }
     drop(up_tx);
@@ -327,12 +361,18 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
         up_rx: &up_rx,
         dead: vec![false; registered],
     };
-    let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut transport);
+    let result = serve(cfg, tcfg, &test, &bcast_cfg, &mut transport, &ledger);
 
+    // Unwedge clients in teardown order: fail blocked reservations, tell
+    // everyone to stop, then close the uplink so a sender blocked on the
+    // bounded channel fails out instead of deadlocking the joins.
+    ledger.close();
     for tx in &down_txs {
         let _ = tx.send(ServerMsg::Stop);
     }
+    drop(transport);
     drop(down_txs);
+    drop(up_rx);
     for h in handles {
         // A client panic must not take the server down with it; the client
         // was already accounted as late/dropped when it stopped responding.
@@ -341,13 +381,26 @@ pub fn run_threaded_with(cfg: &FlConfig, tcfg: &TransportConfig) -> Result<FlRun
     result
 }
 
+/// State-dict size in bytes of a freshly built model under `cfg` — the
+/// reference for resolving the ingest budget before any server model
+/// exists (deterministic: the same seed builds the same model).
+pub(crate) fn model_size_bytes(cfg: &FlConfig) -> usize {
+    let (c, h, _, classes) = cfg.dataset.dims();
+    cfg.arch
+        .build(c, h, classes, cfg.seed)
+        .state_dict()
+        .nbytes()
+}
+
 /// Channel-backed [`ServerTransport`]: one bounded downlink channel per
-/// client, one shared unbounded uplink channel. A failed downlink send is
-/// the only way to observe a dead client, and channels cannot be re-opened,
-/// so `dead` is permanent here (unlike TCP, where clients rejoin).
+/// client, one shared *bounded* uplink channel (senders block when the
+/// server falls behind — backpressure, not memory growth). A failed
+/// downlink send is the only way to observe a dead client, and channels
+/// cannot be re-opened, so `dead` is permanent here (unlike TCP, where
+/// clients rejoin).
 struct ChannelTransport<'a> {
     down_txs: &'a [Sender<ServerMsg>],
-    up_rx: &'a Receiver<ClientMsg>,
+    up_rx: &'a Receiver<ChannelUplink>,
     dead: Vec<bool>,
 }
 
@@ -400,7 +453,10 @@ impl ServerTransport for ChannelTransport<'_> {
                 Err(_) => return Err(RecvEnd::Closed), // every client hung up
             },
         };
-        Ok(Uplink::Msg(msg))
+        Ok(match msg {
+            ChannelUplink::Msg(m) => Uplink::Msg(m),
+            ChannelUplink::Shed { client_id } => Uplink::Shed { client_id },
+        })
     }
 }
 
@@ -418,8 +474,9 @@ fn client_loop(
     classes: usize,
     plan: &FaultPlan,
     idle: Option<Duration>,
+    ledger: &Ledger,
     down_rx: &Receiver<ServerMsg>,
-    up_tx: &Sender<ClientMsg>,
+    up_tx: &Sender<ChannelUplink>,
 ) {
     // Built on the first broadcast, not at spawn: with cross-device
     // sampling, most registered clients sit out most rounds, and a
@@ -469,6 +526,20 @@ fn client_loop(
             // degenerates to a crash here; the TCP transport models the
             // rejoin-with-backoff path faithfully.
             Some(FaultKind::Disconnect) => return,
+            // Overload faults have no byte stream to trickle over a
+            // channel; the rate enforcer's outcome is modelled directly
+            // (matching TCP with `min_byte_rate` on): the update is shed,
+            // the client lives on to the next round.
+            Some(FaultKind::SlowDrip | FaultKind::HoldConnection(_)) => {
+                if up_tx.send(ChannelUplink::Shed { client_id: id }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // A well-formed junk payload of the planned size: it frames
+            // cleanly, and either the ingest budget sheds it below or the
+            // server's decode rejects it.
+            Some(FaultKind::FloodOversized(n)) => CompressedUpdate::from_bytes(vec![0xA5; n]),
             Some(FaultKind::Corrupt) => {
                 let mut bytes = out.payload.into_bytes();
                 if let Some(b) = bytes.first_mut() {
@@ -516,6 +587,27 @@ fn client_loop(
             .map(|_| CompressedUpdate::from_bytes(payload.as_bytes().to_vec()))
             .collect();
         for payload in std::iter::once(payload).chain(duplicates) {
+            // The same header-time admission TCP applies: the frame's
+            // exact encoded body length decides shed-or-reserve, so both
+            // transports refuse the same updates. A frame that fits waits
+            // for ledger space (backpressure) rather than being refused.
+            let body_len = wire::update_body_len(
+                round,
+                attempt,
+                id,
+                out.samples,
+                out.raw_bytes,
+                payload.nbytes(),
+            );
+            if ledger.would_never_fit(body_len) {
+                if up_tx.send(ChannelUplink::Shed { client_id: id }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            if !ledger.reserve(body_len) {
+                return; // ledger closed: server shutting down
+            }
             let msg = ClientMsg {
                 client_id: id,
                 round,
@@ -525,8 +617,10 @@ fn client_loop(
                 train_s: out.train_s,
                 compress_s: out.compress_s,
                 raw_bytes: out.raw_bytes,
+                reserved: body_len,
             };
-            if up_tx.send(msg).is_err() {
+            if up_tx.send(ChannelUplink::Msg(msg)).is_err() {
+                ledger.release(body_len);
                 return; // server gone: shut down quietly
             }
         }
@@ -542,6 +636,7 @@ pub(crate) fn serve<T: ServerTransport>(
     test: &fedsz_dnn::Dataset,
     bcast_cfg: &FedSzConfig,
     transport: &mut T,
+    ledger: &Ledger,
 ) -> Result<FlRunResult, FlError> {
     let (c, h, _, classes) = cfg.dataset.dims();
     let mut server = cfg.arch.build(c, h, classes, cfg.seed);
@@ -551,7 +646,7 @@ pub(crate) fn serve<T: ServerTransport>(
     let mut global = Arc::new(resume.global);
     let mut rounds = resume.rounds;
     rounds.reserve(cfg.rounds.saturating_sub(rounds.len()));
-    let mut pool = IngestPool::new(cfg.ingest_workers);
+    let mut pool = IngestPool::new(cfg.ingest_workers, cfg.cohort_size());
 
     for round in resume.start_round..cfg.rounds {
         let broadcast = fedsz::compress(&global, bcast_cfg);
@@ -599,16 +694,29 @@ pub(crate) fn serve<T: ServerTransport>(
                     transport,
                     &global,
                     &mut pool,
+                    ledger,
                     &mut metrics,
                 )?;
                 if collected.delivered >= tcfg.quorum() {
                     break 'attempts collected.agg;
                 }
                 if attempt == tcfg.max_round_retries {
-                    return Err(FlError::QuorumNotMet {
-                        round,
-                        delivered: collected.delivered,
-                        required: tcfg.quorum(),
+                    // A starved round that shed updates gets its own error
+                    // so operators can tell "clients failed" from "the
+                    // server turned clients away".
+                    return Err(if collected.shed > 0 {
+                        FlError::Overloaded {
+                            round,
+                            shed: collected.shed,
+                            delivered: collected.delivered,
+                            required: tcfg.quorum(),
+                        }
+                    } else {
+                        FlError::QuorumNotMet {
+                            round,
+                            delivered: collected.delivered,
+                            required: tcfg.quorum(),
+                        }
                     });
                 }
                 // Quorum starved: the partial aggregate of this attempt is
@@ -642,6 +750,10 @@ struct AttemptOutcome {
     agg: StreamingFedAvg,
     /// Number of valid updates folded.
     delivered: usize,
+    /// Updates deterministically turned away by admission control — frames
+    /// that could never fit the ingest budget or trickled below the
+    /// minimum byte rate.
+    shed: usize,
 }
 
 /// Settles ingest outcomes in contiguous submission order, folding each
@@ -677,16 +789,30 @@ impl Settle {
         }
     }
 
-    fn push(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) -> Result<(), FlError> {
+    fn push(
+        &mut self,
+        out: ingest::Outcome,
+        ledger: &Ledger,
+        metrics: &mut RoundMetrics,
+    ) -> Result<(), FlError> {
         self.buffered.insert(out.seq, out);
         while let Some(out) = self.buffered.remove(&self.next) {
             self.next += 1;
-            self.apply(out, metrics)?;
+            self.apply(out, ledger, metrics)?;
         }
         Ok(())
     }
 
-    fn apply(&mut self, out: ingest::Outcome, metrics: &mut RoundMetrics) -> Result<(), FlError> {
+    fn apply(
+        &mut self,
+        out: ingest::Outcome,
+        ledger: &Ledger,
+        metrics: &mut RoundMetrics,
+    ) -> Result<(), FlError> {
+        // The frame's budget reservation is held from admission until its
+        // outcome settles; release it before anything else so a fold error
+        // cannot leak capacity.
+        ledger.release(out.reserved);
         // Decompression is timed for every decode attempt — rejected and
         // quarantined payloads cost the server real wall time too.
         metrics.decompress_s_total += out.decompress_s;
@@ -743,6 +869,7 @@ fn collect_attempt<T: ServerTransport>(
     transport: &mut T,
     global: &Arc<StateDict>,
     pool: &mut IngestPool,
+    ledger: &Ledger,
     metrics: &mut RoundMetrics,
 ) -> Result<AttemptOutcome, FlError> {
     let cutoff = deadline.map(|d| Instant::now() + d);
@@ -752,6 +879,7 @@ fn collect_attempt<T: ServerTransport>(
     let expected = pending;
     let mut seq = 0u64;
     let mut in_flight = 0usize;
+    let mut shed = 0usize;
     let resolve = |outstanding: &mut [bool], pending: &mut usize, id: usize| {
         if id < outstanding.len() && outstanding[id] {
             outstanding[id] = false;
@@ -759,24 +887,55 @@ fn collect_attempt<T: ServerTransport>(
         }
     };
 
+    // How often the collect loop wakes to settle finished decodes while
+    // blocked on the transport. Settling is what releases ledger capacity,
+    // so waiting on the transport *without* draining would deadlock with
+    // every remaining client parked in `Ledger::reserve`: their sends are
+    // gated on releases only this loop can perform. The poll changes when
+    // outcomes settle, never which updates are admitted, so accounting
+    // and the aggregate stay bit-identical.
+    const SETTLE_POLL: Duration = Duration::from_millis(5);
+
     while pending > 0 {
-        let msg = match transport.recv(cutoff) {
+        let wait_until = if in_flight > 0 {
+            let poll = Instant::now() + SETTLE_POLL;
+            Some(cutoff.map_or(poll, |c| c.min(poll)))
+        } else {
+            cutoff
+        };
+        let msg = match transport.recv(wait_until) {
             Ok(m) => m,
+            Err(RecvEnd::Timeout) if cutoff.is_none_or(|c| Instant::now() < c) => {
+                // The settle poll expired, not the round deadline: fold
+                // whatever the pool finished (freeing budget for parked
+                // clients) and go back to waiting.
+                while let Some(out) = pool.try_recv() {
+                    in_flight -= 1;
+                    settle.push(out, ledger, metrics)?;
+                }
+                continue;
+            }
             Err(RecvEnd::Timeout) | Err(RecvEnd::Closed) => break,
         };
         match msg {
             Uplink::Msg(msg) => {
                 if msg.round != round || msg.attempt != attempt {
-                    continue; // stale straggler output: discard
+                    // Stale straggler output: discard, handing its budget
+                    // reservation back (it was accounted when it ran late).
+                    ledger.release(msg.reserved);
+                    continue;
                 }
                 // First-wins admission: an id outside the broadcast set
                 // (nonsense, out of cohort, or `cfg.n_clients` spoofing)
                 // or one that already submitted this attempt is dropped
-                // here, undecoded.
+                // here, undecoded — and its reservation released, or a
+                // duplicate flood would pin the budget forever.
                 let Some(slot) = outstanding.get_mut(msg.client_id) else {
+                    ledger.release(msg.reserved);
                     continue;
                 };
                 if !*slot {
+                    ledger.release(msg.reserved);
                     continue;
                 }
                 *slot = false;
@@ -791,10 +950,19 @@ fn collect_attempt<T: ServerTransport>(
                     compress_s: msg.compress_s,
                     raw_bytes: msg.raw_bytes,
                     wire_bytes,
+                    reserved: msg.reserved,
                     global: Arc::clone(global),
                 });
                 seq += 1;
                 in_flight += 1;
+            }
+            Uplink::Shed { client_id } => {
+                // Admission control turned this update away at the frame
+                // header — over budget or too slow. Counted unconditionally
+                // (like Garbage) so a flood of oversized frames is visible,
+                // then the slot resolves so the round does not wait on it.
+                shed += 1;
+                resolve(&mut outstanding, &mut pending, client_id);
             }
             Uplink::Garbage { client_id } => {
                 // Wire-level rejection (bad CRC / truncated frame): counted
@@ -814,27 +982,29 @@ fn collect_attempt<T: ServerTransport>(
         // the out-of-order buffer stays small.
         while let Some(out) = pool.try_recv() {
             in_flight -= 1;
-            settle.push(out, metrics)?;
+            settle.push(out, ledger, metrics)?;
         }
     }
 
     while in_flight > 0 {
         let out = pool.recv();
         in_flight -= 1;
-        settle.push(out, metrics)?;
+        settle.push(out, ledger, metrics)?;
     }
 
     metrics.faults.rejected += settle.rejected;
     metrics.faults.quarantined += settle.quarantined;
+    metrics.faults.shed += shed;
     // A flood of duplicate corrupt frames (a replaying socket) can push
     // `rejected` past `expected`; saturate instead of underflowing.
     let delivered = settle.delivered;
     metrics.faults.late +=
-        expected.saturating_sub(delivered + settle.rejected + settle.quarantined);
+        expected.saturating_sub(delivered + settle.rejected + settle.quarantined + shed);
     metrics.faults.delivered = delivered;
     Ok(AttemptOutcome {
         agg: settle.agg,
         delivered,
+        shed,
     })
 }
 
@@ -920,7 +1090,7 @@ mod tests {
         // A client whose server never broadcasts (and never closes the
         // channel) exits on its own once the idle timeout expires.
         let (_down_tx, down_rx) = bounded::<ServerMsg>(1);
-        let (up_tx, _up_rx) = unbounded::<ClientMsg>();
+        let (up_tx, _up_rx) = bounded::<ChannelUplink>(8);
         let cfg = FlConfig {
             samples_per_client: 8,
             test_samples: 8,
@@ -941,6 +1111,7 @@ mod tests {
                 classes,
                 &plan,
                 Some(Duration::from_millis(100)),
+                &Ledger::new(None),
                 &down_rx,
                 &up_tx,
             );

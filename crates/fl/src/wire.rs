@@ -24,6 +24,14 @@
 //! before a frame starts ([`WireError::Idle`], driving the optional client
 //! idle timeout) and one that stalls after a frame started
 //! ([`WireError::Stalled`], bounded by the per-frame budget).
+//!
+//! [`read_frame_gated`] adds the server's overload defenses on top: a
+//! minimum byte-rate enforcer that kills slow-dripping peers with
+//! [`WireError::TooSlow`] once a frame has been in flight longer than a
+//! grace period, and a header-time admission callback that can refuse a
+//! frame by its announced length *before* its body is buffered — the
+//! refused body is drained through a small stack buffer to keep the
+//! stream framed, and the caller sees [`WireError::OverBudget`].
 
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
@@ -41,6 +49,11 @@ pub const TRAILER_LEN: usize = 4;
 /// Upper bound on a frame body; a hostile length above this is rejected
 /// before any allocation happens.
 pub const MAX_BODY: usize = 1 << 28; // 256 MiB
+
+/// How long a frame may be in flight before the minimum byte-rate
+/// enforcer starts judging it. Shields honest peers from transient
+/// scheduling hiccups; a slow-dripper outlives the grace and is killed.
+pub const RATE_GRACE: Duration = Duration::from_millis(300);
 
 const K_HELLO: u8 = 1;
 const K_BROADCAST: u8 = 2;
@@ -112,6 +125,14 @@ pub enum WireError {
     BadBody(&'static str),
     /// The length prefix exceeds [`MAX_BODY`].
     TooLarge(usize),
+    /// A frame was in flight past [`RATE_GRACE`] while the peer
+    /// delivered fewer bytes than the configured minimum byte rate
+    /// requires — a slow-drip (or wedged) connection.
+    TooSlow,
+    /// The admission callback refused the frame by its announced body
+    /// length; the body was drained, the stream is still framed, and
+    /// the connection remains usable. Carries the refused length.
+    OverBudget(usize),
     /// Any other socket-level failure.
     Io(io::ErrorKind),
 }
@@ -129,6 +150,10 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadBody(m) => write!(f, "bad frame body: {m}"),
             WireError::TooLarge(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            WireError::TooSlow => write!(f, "frame below the minimum byte rate"),
+            WireError::OverBudget(n) => {
+                write!(f, "frame body of {n} bytes refused at admission")
+            }
             WireError::Io(kind) => write!(f, "socket error: {kind:?}"),
         }
     }
@@ -208,6 +233,43 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     out
 }
 
+/// Exact body length of the `Update` frame these fields would encode
+/// to — without encoding it.
+///
+/// This is the quantity a TCP server sees in the frame header when it
+/// decides admission, so the channel and in-process paths use this to
+/// make byte-identical shed decisions for the same logical update: the
+/// shed set becomes a pure function of the update's fields on every
+/// transport.
+pub fn update_body_len(
+    round: usize,
+    attempt: usize,
+    client_id: usize,
+    samples: usize,
+    raw_bytes: usize,
+    payload_len: usize,
+) -> usize {
+    // LEB128 width: one byte per started 7-bit group (mirrors
+    // `varint::write_u64`; the parity test below pins the two together).
+    fn varint_len(v: usize) -> usize {
+        let mut v = v as u64;
+        let mut n = 1usize;
+        while v >= 0x80 {
+            v >>= 7;
+            n = n.saturating_add(1);
+        }
+        n
+    }
+    varint_len(round)
+        .saturating_add(varint_len(attempt))
+        .saturating_add(varint_len(client_id))
+        .saturating_add(varint_len(samples))
+        .saturating_add(16) // train_s + compress_s as f64 bits
+        .saturating_add(varint_len(raw_bytes))
+        .saturating_add(varint_len(payload_len))
+        .saturating_add(payload_len)
+}
+
 /// Decode one frame from a complete in-memory buffer (tests and fuzzing).
 /// The buffer must contain exactly one frame.
 pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
@@ -219,19 +281,70 @@ pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
+/// Per-frame progress tracker shared by the header, body, and drain
+/// reads: the stall deadline (armed at the first byte, bounded by the
+/// frame budget) plus the minimum byte-rate enforcer's running totals.
+struct Pace {
+    budget: Duration,
+    /// Minimum bytes/second a started frame must sustain; 0 disables.
+    min_rate: u64,
+    deadline: Option<Instant>,
+    started_at: Option<Instant>,
+    received: u64,
+}
+
+impl Pace {
+    fn new(budget: Duration, min_rate: u64) -> Self {
+        Pace {
+            budget,
+            min_rate,
+            deadline: None,
+            started_at: None,
+            received: 0,
+        }
+    }
+
+    /// Record `n` freshly read bytes, arming the clocks at the first.
+    fn advance(&mut self, n: usize) {
+        self.received = self.received.saturating_add(n as u64);
+        if self.deadline.is_none() {
+            let now = Instant::now();
+            self.deadline = Some(now + self.budget);
+            self.started_at = Some(now);
+        }
+    }
+
+    /// Has the frame been in flight past [`RATE_GRACE`] while the peer
+    /// delivered fewer bytes than the minimum rate requires?
+    fn too_slow(&self) -> bool {
+        if self.min_rate == 0 {
+            return false;
+        }
+        let Some(t0) = self.started_at else {
+            return false;
+        };
+        let Some(judged) = t0.elapsed().checked_sub(RATE_GRACE) else {
+            return false;
+        };
+        let required = u128::from(self.min_rate).saturating_mul(judged.as_millis()) / 1000;
+        u128::from(self.received) < required
+    }
+}
+
 /// Fill `buf` from `r`, tolerating short reads and transient timeouts.
 ///
 /// `started` marks whether earlier bytes of this frame were already
 /// consumed: a clean EOF or a read timeout before any byte of the frame is
 /// [`WireError::Closed`] / [`WireError::Idle`]; the same events mid-frame
 /// are [`WireError::UnexpectedEof`] / [`WireError::Stalled`] (the latter
-/// once `deadline` — armed at the first byte — has passed).
+/// once the deadline — armed at the first byte — has passed). With a
+/// minimum byte rate configured, a started frame that falls behind the
+/// rate after [`RATE_GRACE`] is [`WireError::TooSlow`].
 fn read_full<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     started: bool,
-    deadline: &mut Option<Instant>,
-    budget: Duration,
+    pace: &mut Pace,
 ) -> Result<(), WireError> {
     let mut filled = 0usize;
     while filled < buf.len() {
@@ -245,9 +358,7 @@ fn read_full<R: Read>(
             }
             Ok(n) => {
                 filled += n;
-                if deadline.is_none() {
-                    *deadline = Some(Instant::now() + budget);
-                }
+                pace.advance(n);
             }
             Err(e)
                 if matches!(
@@ -258,8 +369,11 @@ fn read_full<R: Read>(
                 if !started && filled == 0 {
                     return Err(WireError::Idle);
                 }
-                if let Some(d) = deadline {
-                    if Instant::now() >= *d {
+                if pace.too_slow() {
+                    return Err(WireError::TooSlow);
+                }
+                if let Some(d) = pace.deadline {
+                    if Instant::now() >= d {
                         return Err(WireError::Stalled);
                     }
                 }
@@ -267,6 +381,18 @@ fn read_full<R: Read>(
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(WireError::Io(e.kind())),
         }
+    }
+    Ok(())
+}
+
+/// Read and discard exactly `n` bytes through a small stack buffer,
+/// keeping the stream framed without buffering a refused body.
+fn drain_exact<R: Read>(r: &mut R, mut n: usize, pace: &mut Pace) -> Result<(), WireError> {
+    let mut sink = [0u8; 512];
+    while n > 0 {
+        let take = n.min(sink.len());
+        read_full(r, &mut sink[..take], true, pace)?;
+        n -= take;
     }
     Ok(())
 }
@@ -294,9 +420,40 @@ pub fn read_frame_reusing<R: Read>(
     frame_budget: Duration,
     scratch: &mut Vec<u8>,
 ) -> Result<Frame, WireError> {
-    let mut deadline = None;
+    read_frame_gated(r, frame_budget, 0, scratch, |_| HeaderVerdict::Admit)
+}
+
+/// Verdict of the header-time admission callback in
+/// [`read_frame_gated`], decided on the announced body length alone —
+/// before a single body byte is buffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderVerdict {
+    /// Buffer and decode the body as usual.
+    Admit,
+    /// Refuse the frame: drain its body without buffering and return
+    /// [`WireError::OverBudget`]. The connection stays framed.
+    Shed,
+    /// The server is shutting down; stop reading and report
+    /// [`WireError::Closed`] so the caller winds the connection down.
+    Abort,
+}
+
+/// [`read_frame_reusing`] plus the server's overload defenses: a
+/// minimum byte-rate floor (`min_byte_rate` bytes/second, 0 disables;
+/// see [`WireError::TooSlow`]) and a header-time admission callback
+/// receiving each frame's announced body length. Admission runs after
+/// the [`MAX_BODY`] check, so the callback sees only lengths the
+/// protocol itself would accept.
+pub fn read_frame_gated<R: Read>(
+    r: &mut R,
+    frame_budget: Duration,
+    min_byte_rate: u64,
+    scratch: &mut Vec<u8>,
+    gate: impl FnOnce(usize) -> HeaderVerdict,
+) -> Result<Frame, WireError> {
+    let mut pace = Pace::new(frame_budget, min_byte_rate);
     let mut header = [0u8; HEADER_LEN];
-    read_full(r, &mut header, false, &mut deadline, frame_budget)?;
+    read_full(r, &mut header, false, &mut pace)?;
     let (magic, covered) = header.split_at(4);
     if magic != MAGIC {
         return Err(WireError::BadMagic);
@@ -310,10 +467,18 @@ pub fn read_frame_reusing<R: Read>(
     if len > MAX_BODY {
         return Err(WireError::TooLarge(len));
     }
+    match gate(len) {
+        HeaderVerdict::Admit => {}
+        HeaderVerdict::Shed => {
+            drain_exact(r, len.saturating_add(TRAILER_LEN), &mut pace)?;
+            return Err(WireError::OverBudget(len));
+        }
+        HeaderVerdict::Abort => return Err(WireError::Closed),
+    }
     scratch.clear();
     scratch.resize(len.saturating_add(TRAILER_LEN), 0);
     let rest = scratch.as_mut_slice();
-    read_full(r, rest, true, &mut deadline, frame_budget)?;
+    read_full(r, rest, true, &mut pace)?;
     let (body, trailer) = rest.split_at(len);
     let expected = match trailer {
         &[a, b, c, d] => u32::from_le_bytes([a, b, c, d]),
@@ -525,6 +690,161 @@ mod tests {
             let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             assert!(decode(&junk).is_err());
         }
+    }
+
+    #[test]
+    fn update_body_len_matches_the_encoder_exactly() {
+        let sizes = [0usize, 1, 127, 128, 300, 16_383, 16_384, 1 << 20];
+        for &payload_len in &sizes {
+            for &(round, attempt, client_id, samples, raw_bytes) in &[
+                (0usize, 0usize, 0usize, 1usize, 0usize),
+                (127, 1, 128, 16_384, usize::MAX >> 1),
+                (1 << 20, 3, 9_999, 64, 123_456),
+            ] {
+                let frame = Frame::Update {
+                    round,
+                    attempt,
+                    client_id,
+                    samples,
+                    train_s: 0.5,
+                    compress_s: 0.25,
+                    raw_bytes,
+                    payload: CompressedUpdate::from_bytes(vec![7u8; payload_len]),
+                };
+                let encoded = encode(&frame);
+                let actual_body = encoded.len() - HEADER_LEN - TRAILER_LEN;
+                assert_eq!(
+                    update_body_len(round, attempt, client_id, samples, raw_bytes, payload_len),
+                    actual_body,
+                    "({round},{attempt},{client_id},{samples},{raw_bytes}) payload {payload_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shed_at_the_header_drains_and_keeps_the_stream_framed() {
+        let big = Frame::Update {
+            round: 1,
+            attempt: 0,
+            client_id: 2,
+            samples: 8,
+            train_s: 0.1,
+            compress_s: 0.1,
+            raw_bytes: 4096,
+            payload: CompressedUpdate::from_bytes(vec![0xAB; 4096]),
+        };
+        let mut stream = encode(&big);
+        stream.extend_from_slice(&encode(&Frame::Stop));
+        let mut cursor = &stream[..];
+        let mut scratch = Vec::new();
+        // Shed the oversized frame: no body buffering, typed error.
+        let mut seen_len = None;
+        let err = read_frame_gated(
+            &mut cursor,
+            Duration::from_secs(1),
+            0,
+            &mut scratch,
+            |len| {
+                seen_len = Some(len);
+                if len > 100 {
+                    HeaderVerdict::Shed
+                } else {
+                    HeaderVerdict::Admit
+                }
+            },
+        )
+        .unwrap_err();
+        let body_len = seen_len.unwrap();
+        assert!(body_len > 4096, "gate saw the announced body length");
+        assert_eq!(err, WireError::OverBudget(body_len));
+        assert!(scratch.is_empty(), "shed body was never buffered");
+        // The next frame on the same stream still decodes: still framed.
+        let next = read_frame_gated(&mut cursor, Duration::from_secs(1), 0, &mut scratch, |_| {
+            HeaderVerdict::Admit
+        })
+        .unwrap();
+        assert_eq!(next, Frame::Stop);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn abort_verdict_reports_closed() {
+        let bytes = encode(&Frame::Stop);
+        let mut cursor = &bytes[..];
+        let err = read_frame_gated(
+            &mut cursor,
+            Duration::from_secs(1),
+            0,
+            &mut Vec::new(),
+            |_| HeaderVerdict::Abort,
+        )
+        .unwrap_err();
+        assert_eq!(err, WireError::Closed);
+    }
+
+    /// A reader that yields `first` bytes of `bytes`, then reports
+    /// `WouldBlock` forever — a peer that stops making progress.
+    struct StallAfter {
+        bytes: Vec<u8>,
+        first: usize,
+        pos: usize,
+    }
+
+    impl io::Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.first {
+                std::thread::sleep(Duration::from_millis(5));
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            let n = buf
+                .len()
+                .min(self.first - self.pos)
+                .min(self.bytes.len() - self.pos);
+            if n == 0 {
+                return Ok(0);
+            }
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn slow_drip_is_too_slow_only_when_rate_enforced() {
+        let bytes = encode(&sample_frames().remove(2));
+        // With the enforcer on, a frame stuck after the header dies with
+        // TooSlow shortly after the grace period...
+        let mut dripper = StallAfter {
+            bytes: bytes.clone(),
+            first: HEADER_LEN + 3,
+            pos: 0,
+        };
+        let err = read_frame_gated(
+            &mut dripper,
+            Duration::from_secs(30),
+            10_000,
+            &mut Vec::new(),
+            |_| HeaderVerdict::Admit,
+        )
+        .unwrap_err();
+        assert_eq!(err, WireError::TooSlow);
+        // ...while with it off the same peer runs into the frame budget
+        // and dies with Stalled, exactly as before this layer existed.
+        let mut dripper = StallAfter {
+            bytes,
+            first: HEADER_LEN + 3,
+            pos: 0,
+        };
+        let err = read_frame_gated(
+            &mut dripper,
+            Duration::from_millis(50),
+            0,
+            &mut Vec::new(),
+            |_| HeaderVerdict::Admit,
+        )
+        .unwrap_err();
+        assert_eq!(err, WireError::Stalled);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use fedsz::{compress, decompress, CompressedUpdate, FedSzConfig};
 use fedsz_fl::checkpoint::{self, Checkpoint};
 use fedsz_fl::wire;
 use fedsz_tensor::{SplitMix64, StateDict, Tensor, TensorKind};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn sample_update() -> CompressedUpdate {
     let mut rng = SplitMix64::new(0xB17F11B);
@@ -375,4 +375,146 @@ fn streamed_hostile_bytes_never_hang_the_frame_reader() {
             assert!(frames < 64, "runaway frame parse on garbage");
         }
     }
+}
+
+/// An oversized but wire-valid update frame: the kind of flood a hostile
+/// client can produce cheaply, carrying `payload_len` junk bytes.
+fn flood_frame(round: usize, payload_len: usize) -> Vec<u8> {
+    wire::encode(&wire::Frame::Update {
+        round,
+        attempt: 0,
+        client_id: 1,
+        samples: 1,
+        train_s: 0.0,
+        compress_s: 0.0,
+        raw_bytes: 0,
+        payload: CompressedUpdate::from_bytes(vec![0xA5; payload_len]),
+    })
+}
+
+#[test]
+fn oversized_frames_are_shed_at_the_header_and_the_stream_stays_framed() {
+    // 200 seeded flood frames, each over a tiny admission budget: the gated
+    // reader must refuse every one at the header — draining its body
+    // without buffering or decoding a byte of it — and the stream must
+    // stay framed, so a well-formed frame right behind the flood still
+    // decodes. That recovery is what makes shedding a defense rather than
+    // a connection-killer.
+    let cap = 256usize;
+    let good = wire::encode(&wire::Frame::Hello { client_id: 7 });
+    let mut rng = SplitMix64::new(0x0B5E55ED);
+    let mut scratch = Vec::new();
+    for case in 0..200 {
+        let payload_len = cap + 1 + rng.below(4096);
+        let mut stream = flood_frame(case, payload_len);
+        stream.extend_from_slice(&good);
+        let mut cursor = &stream[..];
+        let gate = |len: usize| {
+            if len > cap {
+                wire::HeaderVerdict::Shed
+            } else {
+                wire::HeaderVerdict::Admit
+            }
+        };
+        match wire::read_frame_gated(
+            &mut cursor,
+            Duration::from_millis(200),
+            0,
+            &mut scratch,
+            gate,
+        ) {
+            Err(wire::WireError::OverBudget(n)) => {
+                assert!(n > cap, "flood #{case} announced {n} <= cap {cap}")
+            }
+            other => panic!("flood #{case}: expected OverBudget, got {other:?}"),
+        }
+        let next = wire::read_frame_gated(
+            &mut cursor,
+            Duration::from_millis(200),
+            0,
+            &mut scratch,
+            gate,
+        )
+        .unwrap_or_else(|e| panic!("frame after shed #{case} lost framing: {e:?}"));
+        assert!(
+            matches!(next, wire::Frame::Hello { client_id: 7 }),
+            "unexpected frame after shed #{case}: {next:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_flood_frames_error_cleanly_at_every_cut_point() {
+    // A flood whose connection dies mid-drain: cutting the frame at 200
+    // seeded offsets must always yield a typed error — never a panic,
+    // never a successful decode, and never a hang in the drain loop.
+    let cap = 256usize;
+    let bytes = flood_frame(3, 8192);
+    let mut rng = SplitMix64::new(0xC07_CA7);
+    let mut scratch = Vec::new();
+    for case in 0..200 {
+        let cut = rng.below(bytes.len());
+        let mut cursor = &bytes[..cut];
+        let err = wire::read_frame_gated(
+            &mut cursor,
+            Duration::from_millis(200),
+            0,
+            &mut scratch,
+            |len| {
+                if len > cap {
+                    wire::HeaderVerdict::Shed
+                } else {
+                    wire::HeaderVerdict::Admit
+                }
+            },
+        );
+        assert!(err.is_err(), "cut #{case} at {cut} bytes decoded: {err:?}");
+    }
+}
+
+/// A peer that sends one byte and then stalls forever — the cheapest way
+/// to pin a reader thread without tripping an idle timeout.
+struct Drip {
+    sent: bool,
+}
+
+impl std::io::Read for Drip {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if !self.sent && !buf.is_empty() {
+            self.sent = true;
+            buf[0] = 0xAA;
+            return Ok(1);
+        }
+        // Pace the retry loop like a socket read timeout would.
+        std::thread::sleep(Duration::from_millis(10));
+        Err(std::io::ErrorKind::WouldBlock.into())
+    }
+}
+
+#[test]
+fn slow_dripped_frames_trip_the_rate_floor_long_before_the_frame_budget() {
+    // With a minimum byte rate set, a one-byte drip must be thrown off
+    // shortly after the rate grace — not after the (deliberately huge)
+    // frame budget. This is the defense the TCP server leans on against
+    // clients that hold a round open by trickling bytes.
+    let mut scratch = Vec::new();
+    let started = Instant::now();
+    let err = wire::read_frame_gated(
+        &mut Drip { sent: false },
+        Duration::from_secs(600),
+        1_000_000,
+        &mut scratch,
+        |_| wire::HeaderVerdict::Admit,
+    )
+    .expect_err("a one-byte drip is not a frame");
+    assert_eq!(err, wire::WireError::TooSlow);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "rate floor took {:?} to fire",
+        started.elapsed()
+    );
+    assert!(
+        started.elapsed() >= wire::RATE_GRACE,
+        "rate floor fired inside the grace period"
+    );
 }

@@ -311,3 +311,148 @@ fn tcp_client_idle_timeout_exits_cleanly() {
     );
     mute_server.join().expect("mute server");
 }
+
+#[test]
+fn starved_ingest_budget_sheds_identically_on_every_transport() {
+    // A one-byte ingest budget can never admit an update: every transport
+    // must shed the whole cohort at the frame header, fail the round with
+    // the overload error (not a generic quorum miss), and agree on the
+    // exact shed count — the shed decision is a pure function of the
+    // announced frame size, never of transport timing.
+    let cfg = FlConfig {
+        ingest_budget_bytes: Some(1),
+        samples_per_client: 8,
+        test_samples: 8,
+        ..fl_cfg(4, 1)
+    };
+    let sequential = fedsz_fl::run(&cfg).expect_err("sequential must overload");
+    let channel = run_threaded_with(&cfg, &backstop()).expect_err("channel must overload");
+    let tcp = run_tcp_with(&cfg, &backstop(), &fast_net()).expect_err("tcp must overload");
+
+    for (transport, err) in [
+        ("sequential", &sequential),
+        ("channel", &channel),
+        ("tcp", &tcp),
+    ] {
+        assert_eq!(
+            *err,
+            FlError::Overloaded {
+                round: 0,
+                shed: 4,
+                delivered: 0,
+                required: 1,
+            },
+            "{transport} disagreed on the overload outcome"
+        );
+    }
+}
+
+#[test]
+fn chaos_fault_accounting_is_identical_across_transports() {
+    // Combined overload faults — an oversized flood, a byte-dripping
+    // client, a connection held open past the rate grace, and a poisoned
+    // update — must settle into the same per-round counters (including
+    // `shed`) and the same final model whether they travel in-process,
+    // over channels, or over real sockets with the rate enforcer on.
+    let cfg = fl_cfg(4, 2);
+    let model_bytes = {
+        let (c, h, _, classes) = cfg.dataset.dims();
+        cfg.arch
+            .build(c, h, classes, cfg.seed)
+            .state_dict()
+            .nbytes()
+    };
+    // Twice the auto budget (4x model), so the header-time shed fires on
+    // every transport regardless of how the junk payload would compress.
+    let plan = FaultPlan::new()
+        .flood_oversized(0, 0, model_bytes * 8)
+        .slow_drip(1, 0)
+        .hold_connection(2, 1, Duration::from_millis(600))
+        .non_finite(3, 1);
+    let tcfg = TransportConfig {
+        faults: plan.clone(),
+        ..backstop()
+    };
+    let ncfg = NetConfig {
+        min_byte_rate: 1024,
+        ..fast_net()
+    };
+    let in_process = fedsz_fl::run_with_faults(&cfg, &plan).expect("in-process chaos run");
+    let channel = run_threaded_with(&cfg, &tcfg).expect("channel chaos run");
+    let tcp = run_tcp_with(&cfg, &tcfg, &ncfg).expect("tcp chaos run");
+
+    let counters =
+        |r: &fedsz_fl::FlRunResult| r.rounds.iter().map(|m| m.faults).collect::<Vec<_>>();
+    assert_eq!(
+        counters(&in_process),
+        counters(&channel),
+        "channel fault accounting diverged from in-process"
+    );
+    assert_eq!(
+        counters(&channel),
+        counters(&tcp),
+        "tcp fault accounting diverged from channel"
+    );
+    // Round 0 sheds the flood and the drip; round 1 sheds the held
+    // connection and quarantines the non-finite update.
+    assert_eq!(in_process.rounds[0].faults.shed, 2);
+    assert_eq!(in_process.rounds[0].faults.delivered, 2);
+    assert_eq!(in_process.rounds[1].faults.shed, 1);
+    assert_eq!(in_process.rounds[1].faults.quarantined, 1);
+    assert_eq!(in_process.rounds[1].faults.delivered, 2);
+
+    assert_eq!(
+        in_process.final_model, channel.final_model,
+        "channel final model diverged from in-process"
+    );
+    assert_eq!(
+        channel.final_model, tcp.final_model,
+        "tcp final model diverged from channel"
+    );
+}
+
+#[test]
+fn tight_budget_backpressures_without_shedding_and_stays_bit_identical() {
+    // A budget with room for roughly two in-flight updates: with four
+    // clients racing, the rest must park in `Ledger::reserve` until
+    // earlier updates settle and release capacity. This is the regression
+    // test for a collect-loop deadlock where the server blocked on the
+    // transport while the releases every parked client was waiting for
+    // could only come from settling finished decodes. Nothing may be
+    // shed — no single update comes near the cap — and the run must stay
+    // bit-identical to the unconstrained one: backpressure changes when
+    // updates are admitted, never whether.
+    let cfg = fl_cfg(4, 2);
+    let baseline = run_threaded_with(&cfg, &backstop()).expect("unconstrained channel run");
+    let max_round_wire = baseline
+        .rounds
+        .iter()
+        .map(|r| r.bytes_on_wire)
+        .max()
+        .expect("at least one round");
+    let tight = FlConfig {
+        ingest_budget_bytes: Some(max_round_wire / 2 + 256),
+        ..cfg
+    };
+    let channel = run_threaded_with(&tight, &backstop()).expect("backpressured channel run");
+    let tcp = run_tcp_with(&tight, &backstop(), &fast_net()).expect("backpressured tcp run");
+    for (transport, run) in [("channel", &channel), ("tcp", &tcp)] {
+        for r in &run.rounds {
+            assert_eq!(
+                (r.faults.delivered, r.faults.shed),
+                (4, 0),
+                "{transport} round {} under backpressure: {:?}",
+                r.round,
+                r.faults
+            );
+        }
+    }
+    assert_eq!(
+        baseline.final_model, channel.final_model,
+        "backpressured channel run diverged from unconstrained"
+    );
+    assert_eq!(
+        channel.final_model, tcp.final_model,
+        "backpressured tcp run diverged from channel"
+    );
+}

@@ -14,9 +14,10 @@
 //! * `recv` blocks while empty; it fails with [`channel::RecvError`] once
 //!   every sender is gone and the queue is drained (how the server learns
 //!   all clients hung up).
-//! * `recv_timeout` / `try_recv` are the non-blocking variants with
-//!   `Timeout`/`Empty` vs `Disconnected` distinguished exactly as
-//!   crossbeam does.
+//! * `recv_timeout` / `try_recv` / `try_send` are the non-blocking
+//!   variants with `Timeout`/`Empty`/`Full` vs `Disconnected`
+//!   distinguished exactly as crossbeam does (reader threads use
+//!   `try_send` so a bounded queue never wedges shutdown).
 //!
 //! Built on `std::sync::{Mutex, Condvar}`; no unsafe code.
 
@@ -73,6 +74,25 @@ pub mod channel {
         Empty,
         /// The channel is empty and every sender disconnected.
         Disconnected,
+    }
+
+    /// Why a `try_send` returned without delivering. Carries the
+    /// undelivered message back, like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is currently full.
+        Full(T),
+        /// Every receiver disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the message that could not be delivered.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
     }
 
     /// An unbounded MPMC channel.
@@ -137,6 +157,24 @@ pub mod channel {
                     Err(poisoned) => poisoned.into_inner(),
                 };
             }
+        }
+
+        /// Deliver `msg` only if it can be queued right now. Never
+        /// blocks: a full bounded channel returns
+        /// [`TrySendError::Full`] with the message back so the caller
+        /// can poll a shutdown flag between retries.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = lock(&self.chan);
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                return Err(TrySendError::Full(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.chan.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -303,6 +341,18 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(sender.join().unwrap(), "sent");
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        assert_eq!(TrySendError::Full(5).into_inner(), 5);
     }
 
     #[test]
